@@ -1,0 +1,126 @@
+//! Criterion benches: one per paper artefact (scaled down so `cargo
+//! bench` completes in minutes — the full-size sweeps live in the
+//! `table1`/`fig4`/`table2`/`fig6`/`fig8`/`fig9` binaries), plus
+//! microbenchmarks of the simulation kernel and the Cuneiform front-end
+//! that the experiments lean on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hiway_bench::experiments::{fig4, fig6, fig8, fig9, table2};
+use hiway_lang::cuneiform::CuneiformWorkflow;
+use hiway_lang::ir::WorkflowSource;
+use hiway_sim::netfair::{max_min_rates, Constraint, FlowPath};
+use hiway_workloads::snv::SnvParams;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_snv_vs_tez");
+    group.sample_size(10);
+    group.bench_function("6nodes_24containers", |b| {
+        b.iter(|| {
+            let params = fig4::Fig4Params {
+                nodes: 6,
+                container_counts: vec![24],
+                samples: 6,
+                runs: 1,
+                cpu_scale: 0.05,
+            };
+            fig4::run(&params).expect("fig4")
+        })
+    });
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_weak_scaling");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| table2::run_rung(w, 42).expect("rung").1)
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_utilization");
+    group.sample_size(10);
+    group.bench_function("sample_two_sizes", |b| {
+        b.iter(|| {
+            fig6::run(&fig6::Fig6Params { worker_counts: vec![1, 2] }).expect("fig6")
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_trapline");
+    group.sample_size(10);
+    group.bench_function("1_and_6_nodes", |b| {
+        b.iter(|| {
+            let params = fig8::Fig8Params { node_counts: vec![1, 6], runs: 1 };
+            fig8::run(&params).expect("fig8")
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_adaptive_scheduling");
+    group.sample_size(10);
+    group.bench_function("1rep_6heft_runs", |b| {
+        b.iter(|| {
+            let params = fig9::Fig9Params {
+                workers: 11,
+                repetitions: 1,
+                consecutive_heft_runs: 6,
+            };
+            fig9::run(&params).expect("fig9")
+        })
+    });
+    group.finish();
+}
+
+fn bench_kernel_netfair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_netfair");
+    for flows in [32usize, 256] {
+        // A star topology: per-flow src/dst NIC constraints + one switch.
+        let mut constraints = vec![Constraint { capacity: 125.0e6 }];
+        let mut paths = Vec::new();
+        for i in 0..flows {
+            constraints.push(Constraint { capacity: 87.5e6 });
+            constraints.push(Constraint { capacity: 87.5e6 });
+            paths.push(FlowPath {
+                constraints: vec![0, 1 + 2 * i, 2 + 2 * i],
+                rate_cap: None,
+            });
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, _| {
+            b.iter(|| max_min_rates(&constraints, &paths))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cuneiform_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cuneiform_frontend");
+    let src = SnvParams::fig4(32).cuneiform_source();
+    group.bench_function("parse_and_unfold_snv32", |b| {
+        b.iter(|| {
+            let mut wf = CuneiformWorkflow::parse("snv", &src, 1).expect("parse");
+            wf.initial_tasks().expect("unfold").len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4,
+    bench_table2,
+    bench_fig6,
+    bench_fig8,
+    bench_fig9,
+    bench_kernel_netfair,
+    bench_cuneiform_frontend
+);
+criterion_main!(benches);

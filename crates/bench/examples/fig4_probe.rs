@@ -1,0 +1,21 @@
+//! Single-point Figure 4 probe with per-engine network volumes:
+//! `cargo run --release -p hiway-bench --example fig4_probe -- <containers>`
+use hiway_bench::experiments::fig4::{run_probe, Fig4Params};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let containers: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(576);
+    let params = Fig4Params {
+        nodes: 24,
+        container_counts: vec![containers],
+        samples: 72,
+        runs: 1,
+        cpu_scale: 1.0,
+    };
+    let t = std::time::Instant::now();
+    let (hiway, hiway_gb, tez, tez_gb) = run_probe(&params, containers).expect("probe");
+    println!(
+        "containers={containers} hiway={:.1}min ({hiway_gb:.0}GB net) tez={:.1}min ({tez_gb:.0}GB net) wall {:?}",
+        hiway / 60.0, tez / 60.0, t.elapsed()
+    );
+}

@@ -1,0 +1,13 @@
+//! Supplementary experiment: concurrent per-workflow AMs vs sequential runs.
+use hiway_bench::experiments::multiwf;
+
+fn main() {
+    println!("Multi-tenancy: k concurrent Montage workflows, one AM each, 11 workers\n");
+    match multiwf::run(11, &[1, 2, 4, 8], 5) {
+        Ok(points) => println!("{}", multiwf::render(&points)),
+        Err(e) => {
+            eprintln!("multiwf failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (overview of conducted experiments).
+fn main() {
+    println!("Table 1: overview of conducted experiments\n");
+    println!("{}", hiway_bench::experiments::table1::render());
+}

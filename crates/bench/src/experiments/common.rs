@@ -1,0 +1,116 @@
+//! Shared plumbing for the experiment harness.
+
+use hiway_core::driver::Runtime;
+use hiway_core::HiwayConfig;
+use hiway_lang::ir::{StaticWorkflow, WorkflowSource};
+use hiway_provdb::ProvDb;
+
+/// Materializes any fully-static workflow source into a
+/// [`StaticWorkflow`] — used to hand the same task graph to the baseline
+/// engines (the paper re-implemented the SNV workflow in Tez by hand; we
+/// reuse the unfolded task list).
+pub fn materialize(mut source: Box<dyn WorkflowSource>) -> Result<StaticWorkflow, String> {
+    let tasks = source.initial_tasks().map_err(|e| e.to_string())?;
+    if !source.is_complete() {
+        return Err(format!(
+            "workflow '{}' is iterative and cannot be materialized",
+            source.name()
+        ));
+    }
+    Ok(StaticWorkflow::new(
+        source.name().to_string(),
+        source.language(),
+        tasks,
+    ))
+}
+
+/// Submits one workflow on a prepared runtime, runs it to completion, and
+/// returns its runtime in (virtual) seconds.
+pub fn run_one(
+    runtime: &mut Runtime,
+    source: Box<dyn WorkflowSource>,
+    config: HiwayConfig,
+    db: ProvDb,
+) -> Result<f64, String> {
+    let idx = runtime.submit(source, config, db);
+    let reports = runtime.run_to_completion();
+    if let Some(err) = runtime.error_of(idx) {
+        return Err(err.to_string());
+    }
+    Ok(reports[idx].runtime_secs())
+}
+
+/// Renders a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiway_workloads::snv::SnvParams;
+
+    #[test]
+    fn materialize_static_cuneiform() {
+        let params = SnvParams::fig4(2);
+        let wf = hiway_lang::cuneiform::CuneiformWorkflow::parse(
+            "snv",
+            &params.cuneiform_source(),
+            1,
+        )
+        .unwrap();
+        let static_wf = materialize(Box::new(wf)).unwrap();
+        assert_eq!(static_wf.tasks.len(), params.expected_tasks());
+        static_wf.validate().unwrap();
+    }
+
+    #[test]
+    fn materialize_rejects_iterative() {
+        let params = hiway_workloads::kmeans::KmeansParams::default();
+        let wf = hiway_lang::cuneiform::CuneiformWorkflow::parse(
+            "kmeans",
+            &params.cuneiform_source(),
+            1,
+        )
+        .unwrap();
+        assert!(materialize(Box::new(wf)).is_err());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["workers", "runtime"],
+            &[
+                vec!["1".into(), "340.1".into()],
+                vec!["128".into(), "353.4".into()],
+            ],
+        );
+        assert!(t.contains("workers"));
+        assert!(t.lines().count() == 4);
+    }
+}

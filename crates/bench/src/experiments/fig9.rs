@@ -1,0 +1,210 @@
+//! Figure 9: adaptive scheduling of Montage on a heterogeneous cluster.
+//!
+//! The paper's §4.3 experiment: the Montage DAX workflow on 11 m3.large
+//! workers that were made heterogeneous with the Linux `stress` tool —
+//! one machine unperturbed, five taxed with increasingly many CPU-bound
+//! processes, five with increasingly many disk writers. Each experiment
+//! repetition runs the workflow once with FCFS scheduling (the baseline)
+//! and 20 times consecutively with HEFT, whose runtime estimates grow
+//! richer with every prior run's provenance; provenance is wiped between
+//! repetitions.
+//!
+//! Expected shape: HEFT with *no* provenance performs worse than FCFS
+//! (static assignments are fixed even when a better node idles); with one
+//! prior run it already wins significantly; by eleven prior runs every
+//! task signature has been observed on every node, estimates are
+//! complete, and both the median and the variance drop.
+//!
+//! **Substitution note** (see DESIGN.md): the paper stresses nodes with
+//! 1/4/16/64/256 processes. Under Linux CFS autogrouping those loads
+//! saturate around a 2–3× effective slowdown (the figure's FCFS-to-best
+//! ratio); our kernel models plain processor sharing, where 256 hogs
+//! would slow a task ~129×. We therefore use 1/2/3/4/6 hogs, which
+//! produce a node-speed ladder of 1×–3.5× — the same effective
+//! heterogeneity the paper's cluster exhibited.
+
+use hiway_core::{HiwayConfig, SchedulerPolicy};
+use hiway_lang::dax::parse_dax;
+use hiway_provdb::ProvDb;
+use hiway_sim::NodeSpec;
+use hiway_workloads::montage::MontageParams;
+use hiway_workloads::profiles;
+use hiway_yarn::Resource;
+
+use crate::experiments::common::run_one;
+use crate::stats::{welch_t, Summary};
+
+/// Stress levels applied to the five CPU-stressed and five disk-stressed
+/// workers (worker 0 stays clean).
+pub const STRESS_LEVELS: [u32; 5] = [1, 2, 3, 4, 6];
+
+/// Results: per prior-run count, the HEFT runtimes across repetitions.
+#[derive(Clone, Debug)]
+pub struct Fig9Result {
+    pub fcfs_secs: Vec<f64>,
+    /// `heft_secs[k]` holds runtimes of executions with `k` prior runs.
+    pub heft_secs: Vec<Vec<f64>>,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Fig9Params {
+    pub workers: usize,
+    pub repetitions: usize,
+    pub consecutive_heft_runs: usize,
+}
+
+impl Default for Fig9Params {
+    fn default() -> Fig9Params {
+        Fig9Params {
+            workers: 11,
+            repetitions: 20, // the paper ran 80; 20 keeps the harness quick
+            consecutive_heft_runs: 20,
+        }
+    }
+}
+
+/// Builds the stressed deployment and stages the Montage inputs.
+fn stressed_deployment(
+    params: &Fig9Params,
+    montage: &MontageParams,
+    seed: u64,
+) -> hiway_workloads::profiles::Deployment {
+    let mut deployment =
+        profiles::ec2_cluster(params.workers, &NodeSpec::m3_large("proto"), seed);
+    let workers = deployment.worker_ids();
+    // Worker 0 unperturbed; 1–5 CPU-stressed; 6–10 disk-stressed.
+    for (i, &level) in STRESS_LEVELS.iter().enumerate() {
+        if let Some(&node) = workers.get(1 + i) {
+            deployment.runtime.cluster.add_cpu_stress(node, level);
+        }
+        if let Some(&node) = workers.get(1 + STRESS_LEVELS.len() + i) {
+            deployment.runtime.cluster.add_disk_stress(node, level);
+        }
+    }
+    for (path, size) in montage.input_files() {
+        deployment.runtime.cluster.prestage(&path, size);
+    }
+    deployment
+}
+
+fn montage_config(policy: SchedulerPolicy, seed: u64) -> HiwayConfig {
+    HiwayConfig {
+        container_resource: Resource::new(1, 2048),
+        scheduler: policy,
+        seed,
+        write_trace: false,
+        ..HiwayConfig::default()
+    }
+}
+
+/// Runs the experiment.
+pub fn run(params: &Fig9Params) -> Result<Fig9Result, String> {
+    let montage = MontageParams::default();
+    let mut fcfs_secs = Vec::new();
+    let mut heft_secs: Vec<Vec<f64>> = vec![Vec::new(); params.consecutive_heft_runs];
+
+    for rep in 0..params.repetitions {
+        let base_seed = 7_000 + rep as u64 * 97;
+
+        // (i) FCFS baseline, fresh provenance.
+        {
+            let mut deployment = stressed_deployment(params, &montage, base_seed);
+            let source = parse_dax(&montage.dax_source()).map_err(|e| e.to_string())?;
+            let secs = run_one(
+                &mut deployment.runtime,
+                Box::new(source),
+                montage_config(SchedulerPolicy::Fcfs, base_seed),
+                ProvDb::new(),
+            )?;
+            fcfs_secs.push(secs);
+        }
+
+        // (ii) consecutive HEFT runs sharing one provenance database.
+        let shared_db = ProvDb::new();
+        for (k, bucket) in heft_secs.iter_mut().enumerate() {
+            let seed = base_seed + 1 + k as u64;
+            let mut deployment = stressed_deployment(params, &montage, seed);
+            let source = parse_dax(&montage.dax_source()).map_err(|e| e.to_string())?;
+            let secs = run_one(
+                &mut deployment.runtime,
+                Box::new(source),
+                montage_config(SchedulerPolicy::Heft, seed),
+                shared_db.clone(),
+            )?;
+            bucket.push(secs);
+        }
+    }
+
+    Ok(Fig9Result { fcfs_secs, heft_secs })
+}
+
+/// Renders the figure as a text table.
+pub fn render(result: &Fig9Result) -> String {
+    let fcfs = Summary::of(&result.fcfs_secs);
+    let mut rows = vec![vec![
+        "greedy (fcfs)".to_string(),
+        format!("{:.1}", fcfs.median),
+        format!("{:.1}", fcfs.std_dev),
+    ]];
+    for (k, sample) in result.heft_secs.iter().enumerate() {
+        let s = Summary::of(sample);
+        rows.push(vec![
+            format!("heft, {k} prior"),
+            format!("{:.1}", s.median),
+            format!("{:.1}", s.std_dev),
+        ]);
+    }
+    crate::experiments::common::render_table(&["scheduler", "median (s)", "std dev"], &rows)
+}
+
+/// The paper's two statistical claims, as checks over a result.
+pub fn significance(result: &Fig9Result) -> (f64, f64) {
+    let one_prior = result.heft_secs.get(1).cloned().unwrap_or_default();
+    let t_one_vs_fcfs = welch_t(&result.fcfs_secs, &one_prior);
+    let ten = result.heft_secs.get(10).cloned().unwrap_or_default();
+    let eleven = result.heft_secs.get(11).cloned().unwrap_or_default();
+    let t_ten_vs_eleven = welch_t(&ten, &eleven);
+    (t_one_vs_fcfs, t_ten_vs_eleven)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heft_learns_from_provenance() {
+        let params = Fig9Params {
+            workers: 11,
+            repetitions: 3,
+            consecutive_heft_runs: 13,
+        };
+        let result = run(&params).unwrap();
+        let fcfs = Summary::of(&result.fcfs_secs);
+        let cold = Summary::of(&result.heft_secs[0]);
+        let warm = Summary::of(&result.heft_secs[2]);
+        let converged = Summary::of(&result.heft_secs[12]);
+        // Cold HEFT (no provenance) is no better than FCFS.
+        assert!(
+            cold.median >= fcfs.median * 0.95,
+            "cold heft {:.1} vs fcfs {:.1}",
+            cold.median,
+            fcfs.median
+        );
+        // Warm HEFT beats FCFS.
+        assert!(
+            warm.median < fcfs.median,
+            "warm heft {:.1} vs fcfs {:.1}",
+            warm.median,
+            fcfs.median
+        );
+        // Converged estimates are at least as good as warm ones.
+        assert!(converged.median <= warm.median * 1.1);
+        assert!(
+            converged.median < fcfs.median * 0.8,
+            "converged {:.1} vs fcfs {:.1}",
+            converged.median,
+            fcfs.median
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod common;
+pub mod fig4;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod multiwf;
+pub mod table1;
+pub mod table2;

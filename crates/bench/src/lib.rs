@@ -1,0 +1,21 @@
+//! # hiway-bench — regenerating every table and figure of the paper
+//!
+//! Each experiment of the evaluation (Section 4) is implemented as a
+//! library function returning structured results, so the same code backs
+//! the `table1`/`fig4`/`table2`/`fig6`/`fig8`/`fig9` binaries, the
+//! Criterion benches, and the regression tests. See `EXPERIMENTS.md` at
+//! the repository root for paper-vs-measured numbers.
+//!
+//! | Binary    | Paper artefact | What it sweeps |
+//! |-----------|----------------|----------------|
+//! | `table1`  | Table 1        | experiment overview |
+//! | `fig4`    | Figure 4       | SNV runtime vs container count, Hi-WAY vs Tez |
+//! | `table2`  | Table 2 + Fig 5| SNV weak scaling 1→128 workers, cost model |
+//! | `fig6`    | Figure 6       | master/worker resource utilization |
+//! | `fig8`    | Figure 8       | TRAPLINE on Hi-WAY vs Galaxy CloudMan |
+//! | `fig9`    | Figure 9       | Montage: HEFT vs FCFS over provenance warm-up |
+
+pub mod experiments;
+pub mod stats;
+
+pub use stats::Summary;

@@ -1,0 +1,156 @@
+//! AM configuration.
+
+use hiway_yarn::Resource;
+
+/// Which Workflow Scheduler policy to run (paper §3.4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedulerPolicy {
+    /// First-come-first-served queue — "most established SWfMSs employ"
+    /// this; the baseline in the adaptive-scheduling experiment ("greedy").
+    Fcfs,
+    /// Hi-WAY's default: when a container is allocated, pick the pending
+    /// task with the highest fraction of its input data already local to
+    /// the container's node.
+    DataAware,
+    /// Static: assign tasks to nodes in turn, in equal numbers, before
+    /// execution starts. Requires a static workflow language.
+    RoundRobin,
+    /// Static + adaptive: heterogeneous-earliest-finish-time scheduling
+    /// driven by provenance runtime estimates. Requires a static language.
+    Heft,
+    /// Dynamic + adaptive: when a container arrives, pick the pending task
+    /// whose estimated runtime on that node — latest observation, default
+    /// zero — is most *favourable* relative to the task's cross-node
+    /// average. Unlike HEFT it needs no pre-built schedule, so it composes
+    /// with iterative workflows — the "additional (non-static) adaptive
+    /// scheduling policies … in the process of being integrated" that §3.4
+    /// announces.
+    Adaptive,
+}
+
+impl SchedulerPolicy {
+    /// Whether the policy builds its complete schedule up front — such
+    /// policies cannot run iterative workflows (§3.4).
+    pub fn is_static(self) -> bool {
+        matches!(self, SchedulerPolicy::RoundRobin | SchedulerPolicy::Heft)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerPolicy::Fcfs => "fcfs",
+            SchedulerPolicy::DataAware => "data-aware",
+            SchedulerPolicy::RoundRobin => "round-robin",
+            SchedulerPolicy::Heft => "heft",
+            SchedulerPolicy::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Configuration of one Hi-WAY AM instance.
+#[derive(Clone, Debug)]
+pub struct HiwayConfig {
+    /// Resources of every worker container. The paper runs identical
+    /// container configurations per installation: one core / 1 GB in the
+    /// Figure 4 cluster, whole-node containers elsewhere.
+    pub container_resource: Resource,
+    /// Resources occupied by the AM's own container.
+    pub am_resource: Resource,
+    pub scheduler: SchedulerPolicy,
+    /// How many times a failed task is retried (on a different node when
+    /// possible) before the workflow is declared failed.
+    pub task_retries: u32,
+    /// AM–RM heartbeat: how often allocation rounds happen, seconds.
+    pub heartbeat_secs: f64,
+    /// Worker container startup latency (process spawn, localization).
+    pub container_startup_secs: f64,
+    /// When true, a task's compute phase may use up to the *node's* cores
+    /// regardless of container vcores — the paper's whole-node setup
+    /// "enabling multithreading for tasks running within that container
+    /// whenever possible". When false, container vcores cap the threads.
+    pub multithread_full_node: bool,
+    /// The paper's §5 future work, implemented: when true, each worker
+    /// container is custom-tailored to its task (vcores = the task's
+    /// thread count, memory = the task's peak footprint, both clamped to
+    /// the largest node) instead of the uniform `container_resource`.
+    /// Counters the under-utilization of one-size-fits-all containers.
+    pub tailored_containers: bool,
+    /// Probability that a task attempt fails (simulated tool crash), for
+    /// fault-tolerance testing.
+    pub task_failure_prob: f64,
+    /// Whether to write the provenance trace file to HDFS at the end.
+    pub write_trace: bool,
+    /// Seed for the AM's failure/randomness draws.
+    pub seed: u64,
+}
+
+impl Default for HiwayConfig {
+    fn default() -> HiwayConfig {
+        HiwayConfig {
+            container_resource: Resource::new(1, 1024),
+            am_resource: Resource::new(1, 1024),
+            scheduler: SchedulerPolicy::DataAware,
+            task_retries: 3,
+            heartbeat_secs: 1.0,
+            container_startup_secs: 1.0,
+            multithread_full_node: false,
+            tailored_containers: false,
+            task_failure_prob: 0.0,
+            write_trace: true,
+            seed: 0,
+        }
+    }
+}
+
+impl HiwayConfig {
+    /// Whole-node containers with in-container multithreading — the
+    /// configuration of the paper's scalability and RNA-seq experiments
+    /// ("only allow execution of a single task per worker node").
+    pub fn whole_node(node_cores: u32, node_memory_mb: u64) -> HiwayConfig {
+        HiwayConfig {
+            container_resource: Resource::new(node_cores, node_memory_mb),
+            multithread_full_node: true,
+            ..HiwayConfig::default()
+        }
+    }
+
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> HiwayConfig {
+        self.scheduler = scheduler;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> HiwayConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_policy_classification() {
+        assert!(!SchedulerPolicy::Fcfs.is_static());
+        assert!(!SchedulerPolicy::DataAware.is_static());
+        assert!(SchedulerPolicy::RoundRobin.is_static());
+        assert!(SchedulerPolicy::Heft.is_static());
+    }
+
+    #[test]
+    fn whole_node_config() {
+        let c = HiwayConfig::whole_node(8, 15_000);
+        assert_eq!(c.container_resource, Resource::new(8, 15_000));
+        assert!(c.multithread_full_node);
+        assert_eq!(c.scheduler, SchedulerPolicy::DataAware);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = HiwayConfig::default()
+            .with_scheduler(SchedulerPolicy::Heft)
+            .with_seed(9);
+        assert_eq!(c.scheduler, SchedulerPolicy::Heft);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.scheduler.name(), "heft");
+    }
+}

@@ -1,0 +1,1105 @@
+//! The Workflow Driver and the AM runtime (paper §3.1, §3.3, Figure 3).
+//!
+//! A [`Runtime`] hosts one or more Hi-WAY AM instances on a shared
+//! [`Cluster`] — "each workflow that is launched from a client results in
+//! a separate instance of a Hi-WAY AM being spawned in its own container".
+//! The runtime owns the engine poll loop; AMs are state machines reacting
+//! to engine completions:
+//!
+//! * **Heartbeat** — the AM–RM allocation round: pending container
+//!   requests are matched to free capacity and handed to the owning AM.
+//! * **Worker container lifecycle** — "(i) obtaining the task's input
+//!   data from HDFS, (ii) invoking the commands associated with the task,
+//!   and (iii) storing any generated output data in HDFS".
+//! * **Iterative discovery** — every task completion is fed back to the
+//!   language front-end, which may reveal new tasks (conditionals, loops,
+//!   recursion).
+//! * **Fault tolerance** — failed attempts are retried in fresh containers,
+//!   steered away from the failing node.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hiway_hdfs::exec as hdfs_exec;
+use hiway_lang::trace::{FileEvent, TaskEvent};
+use hiway_lang::{TaskId, TaskSpec, WorkflowSource};
+use hiway_provdb::ProvDb;
+use hiway_sim::{Activity, ActivityId, Completion, Endpoint, NodeId, SimTime};
+use hiway_yarn::{AppId, Container, ContainerId};
+
+use crate::cluster::{Cluster, Tag};
+use crate::config::HiwayConfig;
+use crate::provenance::ProvenanceManager;
+use crate::report::{TaskReport, WorkflowReport};
+use crate::scheduler::{make_scheduler, Scheduler};
+use hiway_yarn::Resource;
+
+/// Per-task execution state.
+#[derive(Clone, Debug, PartialEq)]
+enum TaskState {
+    /// Waiting for input files to be committed.
+    Waiting,
+    /// Dependencies met; a container request is outstanding.
+    Requested,
+    /// Container allocated; worker process starting up.
+    Starting,
+    /// Obtaining input data from HDFS / external services.
+    StageIn,
+    /// The black-box command is executing.
+    Running,
+    /// Writing outputs back to HDFS.
+    StageOut,
+    Done,
+}
+
+struct TaskRun {
+    spec: TaskSpec,
+    state: TaskState,
+    attempts: u32,
+    /// Node of the last failed attempt, avoided on retry when possible.
+    avoid_node: Option<NodeId>,
+    container: Option<Container>,
+    /// Containers declined by the adaptive policy for this task so far.
+    declines: u32,
+    /// Remaining engine activities per phase-file group.
+    group_remaining: HashMap<u32, usize>,
+    group_started: HashMap<u32, SimTime>,
+    /// All in-flight activity ids, for cancellation on node failure.
+    inflight: HashSet<ActivityId>,
+    files_remaining: usize,
+    /// Whether the working-directory (scratch) I/O phase has run.
+    scratch_done: bool,
+    t_ready: f64,
+    t_start: f64,
+    t_exec_end: f64,
+    t_end: f64,
+}
+
+impl TaskRun {
+    fn new(spec: TaskSpec) -> TaskRun {
+        TaskRun {
+            spec,
+            state: TaskState::Waiting,
+            attempts: 0,
+            avoid_node: None,
+            declines: 0,
+            container: None,
+            group_remaining: HashMap::new(),
+            group_started: HashMap::new(),
+            inflight: HashSet::new(),
+            files_remaining: 0,
+            scratch_done: false,
+            t_ready: 0.0,
+            t_start: 0.0,
+            t_exec_end: 0.0,
+            t_end: 0.0,
+        }
+    }
+
+    fn reset_phase_state(&mut self) {
+        self.group_remaining.clear();
+        self.group_started.clear();
+        self.inflight.clear();
+        self.files_remaining = 0;
+        self.scratch_done = false;
+    }
+}
+
+struct Am {
+    app: AppId,
+    source: Box<dyn WorkflowSource>,
+    config: HiwayConfig,
+    prov: ProvenanceManager,
+    scheduler: Box<dyn Scheduler>,
+    tasks: BTreeMap<TaskId, TaskRun>,
+    /// Ready-but-unlaunched tasks in readiness order.
+    ready_order: Vec<TaskId>,
+    started: bool,
+    planned: bool,
+    done: bool,
+    error: Option<String>,
+    am_container: Option<Container>,
+    t_submit: f64,
+    t_finish: f64,
+    rng: StdRng,
+    reports: Vec<TaskReport>,
+}
+
+impl Am {
+    fn active(&self) -> bool {
+        !self.done && self.error.is_none()
+    }
+
+    fn has_inflight_tasks(&self) -> bool {
+        self.tasks.values().any(|t| {
+            matches!(
+                t.state,
+                TaskState::Starting | TaskState::StageIn | TaskState::Running | TaskState::StageOut
+            )
+        })
+    }
+}
+
+/// Hosts AMs on a cluster and drives the simulation to completion.
+pub struct Runtime {
+    pub cluster: Cluster,
+    ams: Vec<Am>,
+    containers: HashMap<ContainerId, (usize, TaskId)>,
+    heartbeat_armed: bool,
+    heartbeat_secs: f64,
+    stall_strikes: u32,
+    /// Extra CPU charged to master nodes per cluster event, modelling
+    /// NameNode/ResourceManager/AM bookkeeping (Figure 6's master load).
+    pub master_overhead: Option<MasterOverhead>,
+}
+
+/// Models the control plane's resource use on dedicated master nodes —
+/// the quantities Figure 6 monitors with `uptime`/`iostat`/`ifstat`.
+#[derive(Clone, Copy, Debug)]
+pub struct MasterOverhead {
+    /// Node hosting YARN's RM and HDFS's NameNode.
+    pub hadoop_master: NodeId,
+    /// Node hosting the Hi-WAY AM container.
+    pub am_master: NodeId,
+    /// CPU-seconds charged to the Hadoop master per container allocation
+    /// and per HDFS file operation.
+    pub per_event_cpu: f64,
+    /// CPU-seconds charged to the AM node per task state transition.
+    pub per_task_cpu: f64,
+    /// Bytes of RPC/heartbeat/log-aggregation traffic between the worker
+    /// and the master per control-plane event.
+    pub rpc_bytes: u64,
+    /// Bytes of audit/event logs the master writes per event.
+    pub log_bytes: u64,
+}
+
+impl MasterOverhead {
+    /// Defaults calibrated so the Figure 6 panels land in the paper's
+    /// magnitude band (master load <5 % of a 2-core node at 128 workers).
+    pub fn defaults(hadoop_master: NodeId, am_master: NodeId) -> MasterOverhead {
+        MasterOverhead {
+            hadoop_master,
+            am_master,
+            per_event_cpu: 0.2,
+            per_task_cpu: 0.3,
+            rpc_bytes: 4 << 20,
+            log_bytes: 2 << 20,
+        }
+    }
+}
+
+impl Runtime {
+    pub fn new(cluster: Cluster) -> Runtime {
+        Runtime {
+            cluster,
+            ams: Vec::new(),
+            containers: HashMap::new(),
+            heartbeat_armed: false,
+            heartbeat_secs: 1.0,
+            stall_strikes: 0,
+            master_overhead: None,
+        }
+    }
+
+    /// Submits a workflow; returns its index. The AM starts once YARN
+    /// allocates its container (first heartbeat).
+    pub fn submit(
+        &mut self,
+        source: Box<dyn WorkflowSource>,
+        config: HiwayConfig,
+        prov_db: ProvDb,
+    ) -> usize {
+        let app = self.cluster.rm.submit_app(source.name().to_string());
+        self.cluster
+            .rm
+            .request(app, hiway_yarn::ContainerRequest::anywhere(config.am_resource));
+        self.heartbeat_secs = self.heartbeat_secs.min(config.heartbeat_secs);
+        let seed = config.seed ^ (self.ams.len() as u64).wrapping_mul(0x9e37_79b9);
+        let scheduler = make_scheduler(config.scheduler);
+        let t_submit = self.cluster.engine.now().as_secs();
+        self.ams.push(Am {
+            app,
+            source,
+            config,
+            prov: ProvenanceManager::new(prov_db),
+            scheduler,
+            tasks: BTreeMap::new(),
+            ready_order: Vec::new(),
+            started: false,
+            planned: false,
+            done: false,
+            error: None,
+            am_container: None,
+            t_submit,
+            t_finish: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            reports: Vec::new(),
+        });
+        self.arm_heartbeat();
+        self.ams.len() - 1
+    }
+
+    fn arm_heartbeat(&mut self) {
+        if !self.heartbeat_armed {
+            self.heartbeat_armed = true;
+            self.cluster
+                .engine
+                .set_timer_after(self.heartbeat_secs, Tag::Heartbeat { wf: 0 });
+        }
+    }
+
+    /// Runs until every submitted workflow has finished or failed, then
+    /// returns the reports (in submission order).
+    pub fn run_to_completion(&mut self) -> Vec<WorkflowReport> {
+        while let Some(events) = self.cluster.engine.step() {
+            for ev in events {
+                match ev {
+                    Completion::Timer { tag, .. } | Completion::Activity { tag, .. } => {
+                        self.dispatch(tag)
+                    }
+                }
+            }
+            if self.ams.iter().all(|am| !am.active()) {
+                break;
+            }
+        }
+        // Anything still active at engine drain is stalled.
+        for am in &mut self.ams {
+            if am.active() {
+                am.error = Some("workflow stalled: no runnable work left".to_string());
+            }
+        }
+        self.reports()
+    }
+
+    /// Runs until virtual time `deadline` (or until all workflows finish,
+    /// whichever is first) and returns control — the hook that lets tests
+    /// and chaos harnesses inject node failures mid-run. Returns `true`
+    /// while at least one workflow is still active.
+    pub fn run_until(&mut self, deadline: SimTime) -> bool {
+        loop {
+            if self.ams.iter().all(|am| !am.active()) {
+                return false;
+            }
+            match self.cluster.engine.peek_next_time() {
+                Some(t) if t <= deadline => {
+                    let events = self.cluster.engine.step().expect("peeked");
+                    for ev in events {
+                        match ev {
+                            Completion::Timer { tag, .. } | Completion::Activity { tag, .. } => {
+                                self.dispatch(tag)
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    self.cluster.engine.advance_to(deadline.max(self.cluster.engine.now()));
+                    return self.ams.iter().any(Am::active);
+                }
+            }
+        }
+    }
+
+    /// Builds the final reports.
+    pub fn reports(&mut self) -> Vec<WorkflowReport> {
+        let now = self.cluster.engine.now().as_secs();
+        self.ams
+            .iter_mut()
+            .map(|am| {
+                let t_finish = if am.done { am.t_finish } else { now };
+                let total = (t_finish - am.t_submit).max(0.0);
+                let (trace, trace_path) = if am.done && am.config.write_trace {
+                    let text = am.prov.finish_workflow(
+                        am.source.name(),
+                        am.source.language(),
+                        total,
+                    );
+                    (text, Some(format!("/hiway/traces/{}.trace", am.source.name())))
+                } else {
+                    (String::new(), None)
+                };
+                WorkflowReport {
+                    name: am.source.name().to_string(),
+                    language: am.source.language().to_string(),
+                    scheduler: am.scheduler.policy().name(),
+                    t_submit: am.t_submit,
+                    t_finish,
+                    tasks: am.reports.clone(),
+                    trace,
+                    trace_path,
+                }
+            })
+            .collect()
+    }
+
+    /// The error message of workflow `wf`, if it failed.
+    pub fn error_of(&self, wf: usize) -> Option<&str> {
+        self.ams[wf].error.as_deref()
+    }
+
+    /// The (possibly incomplete) provenance of a running workflow — like
+    /// Chiron, Hi-WAY is one of the few systems where "a workflow's
+    /// (incomplete) provenance data can be queried during execution of
+    /// that same workflow" (§2.2, §3.5). Combine with
+    /// [`Runtime::run_until`] to interrogate a paused run.
+    pub fn provenance(&self, wf: usize) -> &ProvenanceManager {
+        &self.ams[wf].prov
+    }
+
+    /// Progress counters of a workflow: `(done, total_known)` tasks.
+    pub fn progress(&self, wf: usize) -> (usize, usize) {
+        let am = &self.ams[wf];
+        let done = am.tasks.values().filter(|t| t.state == TaskState::Done).count();
+        (done, am.tasks.len())
+    }
+
+    /// Fails a node mid-run: kills its containers and re-tries the tasks
+    /// that were running there. The caller decides whether to trigger
+    /// HDFS re-replication afterwards.
+    pub fn fail_node(&mut self, node: NodeId) {
+        let killed = self.cluster.fail_node(node);
+        for container in killed {
+            if let Some((wf, task)) = self.containers.remove(&container.id) {
+                self.handle_attempt_failure(wf, task, node, "node failure");
+            } else if let Some(am) = self
+                .ams
+                .iter_mut()
+                .find(|am| am.am_container.map(|c| c.id) == Some(container.id))
+            {
+                am.error = Some(format!("AM container lost with node {}", node.0));
+            }
+        }
+    }
+
+    // ----- event dispatch -------------------------------------------------
+
+    #[doc(hidden)]
+    pub fn dispatch_public(&mut self, tag: Tag) {
+        self.dispatch(tag)
+    }
+
+    fn dispatch(&mut self, tag: Tag) {
+        match tag {
+            Tag::Heartbeat { .. } => self.on_heartbeat(),
+            Tag::ContainerStarted { wf, task } => self.begin_stage_in(wf as usize, task),
+            Tag::StageIn { wf, task, file } => self.on_stage_in_done(wf as usize, task, file),
+            Tag::Exec { wf, task } => self.on_exec_done(wf as usize, task),
+            Tag::StageOut { wf, task, file } => self.on_stage_out_done(wf as usize, task, file),
+            Tag::Stress | Tag::Replication => {}
+        }
+    }
+
+    fn on_heartbeat(&mut self) {
+        self.heartbeat_armed = false;
+        let granted = self.cluster.rm.allocate();
+        let any_granted = !granted.is_empty();
+        for container in granted {
+            self.route_container(container);
+        }
+
+        let any_active = self.ams.iter().any(Am::active);
+        if any_active {
+            // Stall detection: nothing allocated, nothing in flight, yet
+            // unfinished workflows remain — the cluster can never make
+            // progress (an input that will never exist, a pinned request
+            // for a dead node, or an AM container that fits nowhere).
+            let any_inflight = self.ams.iter().any(Am::has_inflight_tasks);
+            if !any_granted && !any_inflight {
+                self.stall_strikes += 1;
+            } else {
+                self.stall_strikes = 0;
+            }
+            if self.stall_strikes > 3 {
+                for am in &mut self.ams {
+                    if am.active() {
+                        am.error = Some(if am.started {
+                            "workflow stalled: tasks waiting on inputs that never appear"
+                                .to_string()
+                        } else {
+                            "workflow stalled: AM container was never allocated".to_string()
+                        });
+                    }
+                }
+                return;
+            }
+            self.arm_heartbeat();
+        }
+    }
+
+    fn route_container(&mut self, container: Container) {
+        let wf = match self.ams.iter().position(|am| am.app == container.app) {
+            Some(wf) => wf,
+            None => {
+                self.cluster.rm.release(container.id);
+                return;
+            }
+        };
+        if !self.ams[wf].active() {
+            self.cluster.rm.release(container.id);
+            return;
+        }
+        if !self.ams[wf].started {
+            self.ams[wf].am_container = Some(container);
+            self.start_am(wf);
+            return;
+        }
+        self.charge_master_overhead_from(true, Some(container.node));
+        // Pick a task for this worker container.
+        let node = container.node;
+        let multi_node = self.cluster.rm.alive_nodes().len() > 1;
+        let am = &mut self.ams[wf];
+        let candidates: Vec<&TaskSpec> = am
+            .ready_order
+            .iter()
+            .filter(|id| am.tasks[id].state == TaskState::Requested)
+            .filter(|id| !(multi_node && am.tasks[id].avoid_node == Some(node)))
+            .map(|id| &am.tasks[id].spec)
+            .collect();
+        let node_name = self.cluster.engine.spec().node(node).name.clone();
+        let chosen = am.scheduler.select_task_with_stats(
+            node,
+            &node_name,
+            &candidates,
+            &self.cluster.hdfs,
+            &am.prov,
+        );
+        // Late binding: an adaptive policy may decline a poorly placed
+        // container and wait for a better one (bounded per task).
+        if let Some(task_id) = chosen {
+            let task = &am.tasks[&task_id];
+            if task.declines < 3
+                && am
+                    .scheduler
+                    .decline(node, &node_name, &task.spec, &am.prov)
+            {
+                am.tasks.get_mut(&task_id).expect("known").declines += 1;
+                let resource = container.resource;
+                self.cluster.rm.release(container.id);
+                let am = &mut self.ams[wf];
+                let req = am.scheduler.container_request(&am.tasks[&task_id].spec, resource);
+                self.cluster.rm.request(am.app, req);
+                return;
+            }
+        }
+        match chosen {
+            Some(task_id) => {
+                let now = self.cluster.engine.now().as_secs();
+                let task = am.tasks.get_mut(&task_id).expect("candidate exists");
+                task.state = TaskState::Starting;
+                task.container = Some(container);
+                task.attempts += 1;
+                task.t_start = now;
+                am.ready_order.retain(|id| *id != task_id);
+                self.containers.insert(container.id, (wf, task_id));
+                let startup = self.ams[wf].config.container_startup_secs;
+                self.cluster.engine.set_timer_after(
+                    startup,
+                    Tag::ContainerStarted { wf: wf as u32, task: task_id },
+                );
+            }
+            None => {
+                // No launchable task for this container (e.g. every
+                // candidate avoids this node). Hand it back and re-ask so
+                // the request count matches the ready tasks again.
+                self.cluster.rm.release(container.id);
+                let am = &mut self.ams[wf];
+                let tid = am
+                    .ready_order
+                    .iter()
+                    .find(|id| am.tasks[id].state == TaskState::Requested)
+                    .copied();
+                if let Some(tid) = tid {
+                    let resource = {
+                        let spec = &self.ams[wf].tasks[&tid].spec;
+                        self.container_resource_for(wf, spec)
+                    };
+                    let am = &mut self.ams[wf];
+                    let req = am.scheduler.container_request(&am.tasks[&tid].spec, resource);
+                    self.cluster.rm.request(am.app, req);
+                }
+            }
+        }
+    }
+
+    fn start_am(&mut self, wf: usize) {
+        let am = &mut self.ams[wf];
+        am.started = true;
+        if am.config.scheduler.is_static() && !am.source.is_static() {
+            am.error = Some(format!(
+                "static scheduling policy '{}' cannot run iterative language '{}'",
+                am.config.scheduler.name(),
+                am.source.language()
+            ));
+            return;
+        }
+        match am.source.initial_tasks() {
+            Ok(tasks) => {
+                // Static policies plan over the full (static) task graph —
+                // but only over nodes that can actually host a worker
+                // container (dedicated master nodes advertise no capacity;
+                // the AM's own node is already occupied by the AM).
+                if am.config.scheduler.is_static() {
+                    let resource = am.config.container_resource;
+                    let nodes: Vec<_> = self
+                        .cluster
+                        .rm
+                        .alive_nodes()
+                        .into_iter()
+                        .filter(|n| self.cluster.rm.available(*n).fits(&resource))
+                        .collect();
+                    if nodes.is_empty() {
+                        am.error = Some(
+                            "no node can host a worker container; static planning impossible"
+                                .to_string(),
+                        );
+                        return;
+                    }
+                    let names: Vec<String> = self
+                        .cluster
+                        .engine
+                        .spec()
+                        .nodes
+                        .iter()
+                        .map(|n| n.name.clone())
+                        .collect();
+                    am.scheduler.plan(&tasks, &nodes, &names, &am.prov);
+                    am.planned = true;
+                }
+                self.register_tasks(wf, tasks);
+                self.check_ready(wf);
+                self.maybe_finish(wf);
+            }
+            Err(e) => {
+                am.error = Some(e.to_string());
+            }
+        }
+    }
+
+    fn register_tasks(&mut self, wf: usize, tasks: Vec<TaskSpec>) {
+        let am = &mut self.ams[wf];
+        for spec in tasks {
+            let id = spec.id;
+            assert!(
+                !am.tasks.contains_key(&id),
+                "front-end emitted duplicate task {id:?}"
+            );
+            am.tasks.insert(id, TaskRun::new(spec));
+        }
+    }
+
+    /// The container resource for a task: the AM-wide uniform size, or —
+    /// in tailored mode (§5 future work) — the task's own footprint,
+    /// clamped so it fits the largest node.
+    fn container_resource_for(&self, wf: usize, task: &TaskSpec) -> Resource {
+        let config = &self.ams[wf].config;
+        if !config.tailored_containers {
+            return config.container_resource;
+        }
+        let (max_vcores, max_mem) = self
+            .cluster
+            .rm
+            .alive_nodes()
+            .into_iter()
+            .map(|n| self.cluster.rm.total(n))
+            .fold((1u32, 512u64), |(v, m), r| (v.max(r.vcores), m.max(r.memory_mb)));
+        Resource::new(
+            task.cost.threads.clamp(1, max_vcores),
+            task.cost.memory_mb.clamp(256, max_mem),
+        )
+    }
+
+    /// Moves Waiting tasks whose inputs are all available to Requested.
+    fn check_ready(&mut self, wf: usize) {
+        let now = self.cluster.engine.now().as_secs();
+        let ready: Vec<TaskId> = {
+            let am = &self.ams[wf];
+            am.tasks
+                .iter()
+                .filter(|(_, t)| t.state == TaskState::Waiting)
+                .filter(|(_, t)| {
+                    t.spec
+                        .inputs
+                        .iter()
+                        .all(|p| self.cluster.input_available(p))
+                })
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        for id in ready {
+            let resource = {
+                let spec = &self.ams[wf].tasks[&id].spec;
+                self.container_resource_for(wf, spec)
+            };
+            let am = &mut self.ams[wf];
+            let task = am.tasks.get_mut(&id).expect("listed");
+            task.state = TaskState::Requested;
+            task.t_ready = now;
+            am.ready_order.push(id);
+            let req = am.scheduler.container_request(&task.spec, resource);
+            self.cluster.rm.request(am.app, req);
+        }
+    }
+
+    // ----- worker container lifecycle --------------------------------------
+
+    fn begin_stage_in(&mut self, wf: usize, task_id: TaskId) {
+        let peer = self.ams[wf]
+            .tasks
+            .get(&task_id)
+            .and_then(|t| t.container.map(|c| c.node));
+        self.charge_master_overhead_from(false, peer);
+        let (node, inputs) = {
+            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
+            task.state = TaskState::StageIn;
+            task.reset_phase_state();
+            (
+                task.container.expect("container assigned").node,
+                task.spec.inputs.clone(),
+            )
+        };
+        let now = self.cluster.engine.now();
+        let mut instantly_done: Vec<u32> = Vec::new();
+        {
+            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
+            task.files_remaining = inputs.len();
+        }
+        for (fi, path) in inputs.iter().enumerate() {
+            let fi = fi as u32;
+            let tag = Tag::StageIn { wf: wf as u32, task: task_id, file: fi };
+            let acts: Vec<ActivityId> = if let Some(ext) = self.cluster.external_file(path) {
+                if ext.size == 0 {
+                    Vec::new()
+                } else {
+                    vec![self.cluster.engine.start(
+                        Activity::Flow {
+                            src: Endpoint::External(ext.service),
+                            dst: Endpoint::Node(node),
+                            src_disk: false,
+                            dst_disk: true,
+                        },
+                        ext.size as f64,
+                        tag,
+                    )]
+                }
+            } else {
+                match self.cluster.hdfs.read_plan(path, node) {
+                    Ok(plan) => hdfs_exec::start_read(&mut self.cluster.engine, &plan, tag),
+                    Err(e) => {
+                        self.fail_workflow(wf, format!("stage-in of '{path}' failed: {e}"));
+                        return;
+                    }
+                }
+            };
+            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
+            task.group_started.insert(fi, now);
+            if acts.is_empty() {
+                instantly_done.push(fi);
+            } else {
+                task.group_remaining.insert(fi, acts.len());
+                task.inflight.extend(acts);
+            }
+        }
+        for fi in instantly_done {
+            self.on_stage_in_done(wf, task_id, fi);
+        }
+        // Zero-input tasks go straight to execution.
+        if inputs.is_empty() {
+            self.begin_exec(wf, task_id);
+        }
+    }
+
+    fn on_stage_in_done(&mut self, wf: usize, task_id: TaskId, file: u32) {
+        let now = self.cluster.engine.now();
+        let finished_file = {
+            let task = match self.ams[wf].tasks.get_mut(&task_id) {
+                Some(t) if t.state == TaskState::StageIn => t,
+                _ => return, // stale event after failure/cancel
+            };
+            match task.group_remaining.get_mut(&file) {
+                Some(rem) if *rem > 1 => {
+                    *rem -= 1;
+                    false
+                }
+                _ => {
+                    task.group_remaining.remove(&file);
+                    true
+                }
+            }
+        };
+        if !finished_file {
+            return;
+        }
+        // Record the file-level provenance event.
+        let (path, size, started) = {
+            let task = &self.ams[wf].tasks[&task_id];
+            let path = task.spec.inputs[file as usize].clone();
+            let size = self
+                .cluster
+                .external_file(&path)
+                .map(|e| e.size)
+                .or_else(|| self.cluster.hdfs.len(&path).ok())
+                .unwrap_or(0);
+            (path, size, task.group_started[&file])
+        };
+        self.ams[wf].prov.record_file(FileEvent {
+            path,
+            size,
+            task: task_id.0,
+            direction: "in".into(),
+            transfer_seconds: now.since(started),
+        });
+        let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
+        task.files_remaining -= 1;
+        if task.files_remaining == 0 {
+            self.begin_exec(wf, task_id);
+        }
+    }
+
+    fn begin_exec(&mut self, wf: usize, task_id: TaskId) {
+        let am = &mut self.ams[wf];
+        let task = am.tasks.get_mut(&task_id).expect("known task");
+        task.state = TaskState::Running;
+        task.inflight.clear();
+        task.files_remaining = 1;
+        task.scratch_done = task.spec.cost.scratch_bytes == 0;
+        let container = task.container.expect("container assigned");
+        let node_cores = self.cluster.engine.spec().node(container.node).cores;
+        let cap = if am.config.multithread_full_node {
+            node_cores
+        } else {
+            container.resource.vcores
+        };
+        let threads = task.spec.cost.threads.min(cap.max(1)).max(1) as f64;
+        let act = self.cluster.engine.start(
+            Activity::Compute { node: container.node, threads },
+            task.spec.cost.cpu_seconds,
+            Tag::Exec { wf: wf as u32, task: task_id },
+        );
+        task.inflight.insert(act);
+    }
+
+    fn on_exec_done(&mut self, wf: usize, task_id: TaskId) {
+        let scratch_pending = {
+            let task = match self.ams[wf].tasks.get_mut(&task_id) {
+                Some(t) if t.state == TaskState::Running => t,
+                _ => return,
+            };
+            task.files_remaining = task.files_remaining.saturating_sub(1);
+            if task.files_remaining > 0 {
+                return; // more execution-phase activities outstanding
+            }
+            task.inflight.clear();
+            !task.scratch_done
+        };
+        if scratch_pending {
+            // Working-directory I/O: the tool writes its temporary files
+            // and reads them back — on the node's *local* disk under
+            // Hi-WAY (cf. Figure 8's analysis).
+            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known");
+            task.scratch_done = true;
+            let node = task.container.expect("assigned").node;
+            let bytes = task.spec.cost.scratch_bytes as f64;
+            let tag = Tag::Exec { wf: wf as u32, task: task_id };
+            let w = self.cluster.engine.start(Activity::DiskWrite { node }, bytes, tag.clone());
+            let r = self.cluster.engine.start(Activity::DiskRead { node }, bytes, tag);
+            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known");
+            task.files_remaining = 2;
+            task.inflight.insert(w);
+            task.inflight.insert(r);
+            return;
+        }
+        let now = self.cluster.engine.now().as_secs();
+        self.ams[wf].tasks.get_mut(&task_id).expect("known").t_exec_end = now;
+
+        // Simulated tool crash?
+        let fail_prob = self.ams[wf].config.task_failure_prob;
+        if fail_prob > 0.0 && self.ams[wf].rng.gen_bool(fail_prob.clamp(0.0, 1.0)) {
+            let node = self.ams[wf].tasks[&task_id]
+                .container
+                .expect("assigned")
+                .node;
+            let cid = self.ams[wf].tasks[&task_id].container.expect("assigned").id;
+            self.containers.remove(&cid);
+            self.cluster.rm.release(cid);
+            self.handle_attempt_failure(wf, task_id, node, "simulated tool failure");
+            return;
+        }
+        self.begin_stage_out(wf, task_id);
+    }
+
+    fn begin_stage_out(&mut self, wf: usize, task_id: TaskId) {
+        let (node, outputs) = {
+            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
+            task.state = TaskState::StageOut;
+            task.reset_phase_state();
+            (
+                task.container.expect("assigned").node,
+                task.spec.outputs.clone(),
+            )
+        };
+        let now = self.cluster.engine.now();
+        {
+            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
+            task.files_remaining = outputs.len();
+        }
+        if outputs.is_empty() {
+            self.finish_task(wf, task_id);
+            return;
+        }
+        let mut instantly_done: Vec<u32> = Vec::new();
+        for (oi, out) in outputs.iter().enumerate() {
+            let oi = oi as u32;
+            self.charge_master_overhead(false);
+            let plan = match self.cluster.hdfs.create(&out.path, out.size, node) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    self.fail_workflow(wf, format!("stage-out of '{}' failed: {e}", out.path));
+                    return;
+                }
+            };
+            let tag = Tag::StageOut { wf: wf as u32, task: task_id, file: oi };
+            let acts = hdfs_exec::start_write(&mut self.cluster.engine, &plan, tag);
+            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
+            task.group_started.insert(oi, now);
+            if acts.is_empty() {
+                instantly_done.push(oi);
+            } else {
+                task.group_remaining.insert(oi, acts.len());
+                task.inflight.extend(acts);
+            }
+        }
+        for oi in instantly_done {
+            self.on_stage_out_done(wf, task_id, oi);
+        }
+    }
+
+    fn on_stage_out_done(&mut self, wf: usize, task_id: TaskId, file: u32) {
+        let now = self.cluster.engine.now();
+        let finished_file = {
+            let task = match self.ams[wf].tasks.get_mut(&task_id) {
+                Some(t) if t.state == TaskState::StageOut => t,
+                _ => return,
+            };
+            match task.group_remaining.get_mut(&file) {
+                Some(rem) if *rem > 1 => {
+                    *rem -= 1;
+                    false
+                }
+                _ => {
+                    task.group_remaining.remove(&file);
+                    true
+                }
+            }
+        };
+        if !finished_file {
+            return;
+        }
+        let (path, size, started) = {
+            let task = &self.ams[wf].tasks[&task_id];
+            let out = &task.spec.outputs[file as usize];
+            (out.path.clone(), out.size, task.group_started[&file])
+        };
+        self.cluster.commit_file(&path);
+        self.ams[wf].prov.record_file(FileEvent {
+            path,
+            size,
+            task: task_id.0,
+            direction: "out".into(),
+            transfer_seconds: now.since(started),
+        });
+        let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
+        task.files_remaining -= 1;
+        if task.files_remaining == 0 {
+            self.finish_task(wf, task_id);
+        }
+    }
+
+    fn finish_task(&mut self, wf: usize, task_id: TaskId) {
+        let now = self.cluster.engine.now().as_secs();
+        let (container, event, report) = {
+            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
+            task.state = TaskState::Done;
+            task.t_end = now;
+            let container = task.container.take().expect("assigned");
+            let node_name = self.cluster.node_name(container.node).to_string();
+            let spec = &task.spec;
+            let event = TaskEvent {
+                id: task_id.0,
+                name: spec.name.clone(),
+                command: spec.command.clone(),
+                inputs: spec
+                    .inputs
+                    .iter()
+                    .map(|p| {
+                        let size = self
+                            .cluster
+                            .external_file(p)
+                            .map(|e| e.size)
+                            .or_else(|| self.cluster.hdfs.len(p).ok())
+                            .unwrap_or(0);
+                        (p.clone(), size)
+                    })
+                    .collect(),
+                outputs: spec.outputs.iter().map(|o| (o.path.clone(), o.size)).collect(),
+                cpu_seconds: spec.cost.cpu_seconds,
+                threads: spec.cost.threads,
+                memory_mb: spec.cost.memory_mb,
+                node: node_name.clone(),
+                t_start: task.t_start,
+                t_end: now,
+                attempts: task.attempts,
+                stdout: format!("task {} ok", spec.name),
+                stderr: String::new(),
+            };
+            let report = TaskReport {
+                id: task_id,
+                name: spec.name.clone(),
+                node: node_name,
+                t_ready: task.t_ready,
+                t_start: task.t_start,
+                t_end: now,
+                attempts: task.attempts,
+            };
+            (container, event, report)
+        };
+        self.containers.remove(&container.id);
+        self.cluster.rm.release(container.id);
+        self.ams[wf].prov.record_task(event);
+        self.ams[wf].reports.push(report);
+        self.charge_master_overhead(false);
+
+        // Iterative discovery (Figure 3): the completion may reveal tasks.
+        match self.ams[wf].source.on_task_completed(task_id) {
+            Ok(new_tasks) => self.register_tasks(wf, new_tasks),
+            Err(e) => {
+                self.fail_workflow(wf, e.to_string());
+                return;
+            }
+        }
+        self.check_ready(wf);
+        self.maybe_finish(wf);
+    }
+
+    fn handle_attempt_failure(&mut self, wf: usize, task_id: TaskId, node: NodeId, why: &str) {
+        let retries = self.ams[wf].config.task_retries;
+        let exhausted = {
+            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
+            for act in task.inflight.drain() {
+                self.cluster.engine.cancel(act);
+            }
+            task.container = None;
+            task.avoid_node = Some(node);
+            task.reset_phase_state();
+            task.attempts > retries
+        };
+        if exhausted {
+            self.fail_workflow(
+                wf,
+                format!("task {task_id:?} failed too many times (last: {why})"),
+            );
+            return;
+        }
+        // Back to Requested with a fresh container ask; YARN will place it
+        // "on different compute nodes" thanks to the avoid list.
+        let resource = {
+            let spec = &self.ams[wf].tasks[&task_id].spec;
+            self.container_resource_for(wf, spec)
+        };
+        let am = &mut self.ams[wf];
+        let task = am.tasks.get_mut(&task_id).expect("known task");
+        task.state = TaskState::Requested;
+        am.ready_order.push(task_id);
+        let req = am.scheduler.container_request(&task.spec, resource);
+        self.cluster.rm.request(am.app, req);
+    }
+
+    fn fail_workflow(&mut self, wf: usize, message: String) {
+        let am = &mut self.ams[wf];
+        am.error = Some(message);
+        // Cancel everything in flight and release the containers.
+        let inflight: Vec<(ContainerId, TaskId)> = self
+            .containers
+            .iter()
+            .filter(|(_, (w, _))| *w == wf)
+            .map(|(cid, (_, tid))| (*cid, *tid))
+            .collect();
+        for (cid, tid) in inflight {
+            if let Some(task) = self.ams[wf].tasks.get_mut(&tid) {
+                for act in task.inflight.drain() {
+                    self.cluster.engine.cancel(act);
+                }
+            }
+            self.containers.remove(&cid);
+            self.cluster.rm.release(cid);
+        }
+        if let Some(c) = self.ams[wf].am_container.take() {
+            self.cluster.rm.release(c.id);
+        }
+    }
+
+    fn maybe_finish(&mut self, wf: usize) {
+        let am = &self.ams[wf];
+        if am.done
+            || !am.source.is_complete()
+            || !am.tasks.values().all(|t| t.state == TaskState::Done)
+        {
+            return;
+        }
+        let now = self.cluster.engine.now().as_secs();
+        let am = &mut self.ams[wf];
+        am.done = true;
+        am.t_finish = now;
+        if let Some(c) = am.am_container.take() {
+            self.cluster.rm.release(c.id);
+        }
+    }
+
+    fn charge_master_overhead(&mut self, hadoop_side: bool) {
+        self.charge_master_overhead_from(hadoop_side, None)
+    }
+
+    fn charge_master_overhead_from(&mut self, hadoop_side: bool, peer: Option<NodeId>) {
+        if let Some(mo) = self.master_overhead {
+            let (node, cpu) = if hadoop_side {
+                (mo.hadoop_master, mo.per_event_cpu)
+            } else {
+                (mo.am_master, mo.per_task_cpu)
+            };
+            if !self.cluster.rm.is_alive(node) {
+                return;
+            }
+            if cpu > 0.0 {
+                self.cluster.engine.start(
+                    Activity::Compute { node, threads: 1.0 },
+                    cpu,
+                    Tag::Stress,
+                );
+            }
+            if mo.rpc_bytes > 0 {
+                if let Some(peer) = peer {
+                    if peer != node {
+                        self.cluster.engine.start(
+                            Activity::Flow {
+                                src: Endpoint::Node(peer),
+                                dst: Endpoint::Node(node),
+                                src_disk: false,
+                                dst_disk: false,
+                            },
+                            mo.rpc_bytes as f64,
+                            Tag::Stress,
+                        );
+                    }
+                }
+            }
+            if mo.log_bytes > 0 {
+                self.cluster.engine.start(
+                    Activity::DiskWrite { node },
+                    mo.log_bytes as f64,
+                    Tag::Stress,
+                );
+            }
+        }
+    }
+}

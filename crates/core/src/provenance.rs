@@ -1,0 +1,313 @@
+//! The Provenance Manager (paper §3.5).
+//!
+//! Registers events at three granularities — workflow, task, file — each
+//! timestamped, and keeps them in two places: an append-only event list
+//! that becomes the re-executable JSON trace file stored in HDFS, and the
+//! queryable [`hiway_provdb`] document store (the MySQL/Couchbase stand-in)
+//! from which the Workflow Scheduler draws its runtime estimates.
+//!
+//! The estimate strategy is the paper's: "the current strategy for
+//! computing these runtime estimates is to always use the latest observed
+//! runtime. If no runtimes have been observed yet for a particular
+//! task-machine-assignment, a default runtime of zero is assumed to
+//! encourage trying out new assignments."
+
+use hiway_format::json::Json;
+use hiway_lang::trace::{FileEvent, TaskEvent, TraceEvent, WorkflowEvent};
+use hiway_provdb::{Aggregate, Op, ProvDb};
+
+/// Collection names inside the provenance database.
+pub const TASKS_COLLECTION: &str = "task_events";
+pub const FILES_COLLECTION: &str = "file_events";
+pub const WORKFLOWS_COLLECTION: &str = "workflow_events";
+
+/// Per-workflow provenance recorder over a (possibly shared, long-lived)
+/// provenance database. Sharing the database across runs is what feeds the
+/// adaptive scheduler in the Figure 9 experiment: every prior execution
+/// enriches the runtime estimates of the next.
+pub struct ProvenanceManager {
+    db: ProvDb,
+    events: Vec<TraceEvent>,
+}
+
+impl ProvenanceManager {
+    pub fn new(db: ProvDb) -> ProvenanceManager {
+        // Index the hot lookup fields once; index creation is idempotent.
+        db.collection(TASKS_COLLECTION).create_index("name");
+        ProvenanceManager { db, events: Vec::new() }
+    }
+
+    /// The shared database handle (e.g. to pass to the next workflow run).
+    pub fn db(&self) -> &ProvDb {
+        &self.db
+    }
+
+    /// Records a completed task execution.
+    pub fn record_task(&mut self, event: TaskEvent) {
+        let doc = Json::object()
+            .with("name", event.name.as_str())
+            .with("node", event.node.as_str())
+            .with("makespan", event.makespan())
+            .with("t_start", event.t_start)
+            .with("t_end", event.t_end)
+            .with("attempts", event.attempts)
+            .with("command", event.command.as_str());
+        self.db.collection(TASKS_COLLECTION).insert(doc);
+        self.events.push(TraceEvent::Task(event));
+    }
+
+    /// Records a file staged in or out of a task's container.
+    pub fn record_file(&mut self, event: FileEvent) {
+        let doc = Json::object()
+            .with("path", event.path.as_str())
+            .with("size", event.size)
+            .with("task", event.task)
+            .with("direction", event.direction.as_str())
+            .with("transfer_seconds", event.transfer_seconds);
+        self.db.collection(FILES_COLLECTION).insert(doc);
+        self.events.push(TraceEvent::File(event));
+    }
+
+    /// Closes the workflow, returning the full trace in the on-disk
+    /// (JSON-lines) format — itself a valid workflow (§3.5).
+    pub fn finish_workflow(&mut self, name: &str, language: &str, total_seconds: f64) -> String {
+        let event = WorkflowEvent {
+            name: name.to_string(),
+            language: language.to_string(),
+            total_seconds,
+        };
+        self.db.collection(WORKFLOWS_COLLECTION).insert(
+            Json::object()
+                .with("name", name)
+                .with("language", language)
+                .with("total_seconds", total_seconds),
+        );
+        // The workflow header leads the trace for readability.
+        let mut trace = vec![TraceEvent::Workflow(event)];
+        trace.append(&mut self.events);
+        hiway_lang::trace::write_trace(&trace)
+    }
+
+    /// Imports the events of a previously written trace file into the
+    /// statistics store — "stored as JSON objects in a trace file in HDFS,
+    /// from where it can be accessed by other instances of Hi-WAY" (§3.5).
+    /// Returns how many task observations were loaded.
+    pub fn import_trace(&mut self, trace_text: &str) -> Result<usize, hiway_lang::LangError> {
+        let events = hiway_lang::trace::parse_trace_events(trace_text)?;
+        let mut loaded = 0;
+        for event in events {
+            match event {
+                TraceEvent::Task(t) => {
+                    let doc = Json::object()
+                        .with("name", t.name.as_str())
+                        .with("node", t.node.as_str())
+                        .with("makespan", t.makespan())
+                        .with("t_start", t.t_start)
+                        .with("t_end", t.t_end)
+                        .with("attempts", t.attempts)
+                        .with("command", t.command.as_str());
+                    self.db.collection(TASKS_COLLECTION).insert(doc);
+                    loaded += 1;
+                }
+                TraceEvent::File(f) => {
+                    let doc = Json::object()
+                        .with("path", f.path.as_str())
+                        .with("size", f.size)
+                        .with("task", f.task)
+                        .with("direction", f.direction.as_str())
+                        .with("transfer_seconds", f.transfer_seconds);
+                    self.db.collection(FILES_COLLECTION).insert(doc);
+                }
+                TraceEvent::Workflow(_) => {}
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Latest observed makespan of `signature` on `node`, or `None` —
+    /// which the scheduler maps to the exploration-friendly default of 0.
+    pub fn latest_runtime(&self, signature: &str, node: &str) -> Option<f64> {
+        self.db
+            .collection(TASKS_COLLECTION)
+            .query()
+            .filter("name", Op::Eq, signature)
+            .filter("node", Op::Eq, node)
+            .last()
+            .and_then(|doc| doc.get("makespan").and_then(Json::as_f64))
+    }
+
+    /// Average observed makespan of `signature` across all nodes.
+    pub fn average_runtime(&self, signature: &str) -> Option<f64> {
+        self.db
+            .collection(TASKS_COLLECTION)
+            .query()
+            .filter("name", Op::Eq, signature)
+            .aggregate("makespan", Aggregate::Avg)
+    }
+
+    /// Number of recorded executions of `signature` (any node).
+    pub fn observation_count(&self, signature: &str) -> usize {
+        self.db
+            .collection(TASKS_COLLECTION)
+            .query()
+            .filter("name", Op::Eq, signature)
+            .aggregate("makespan", Aggregate::Count)
+            .unwrap_or(0.0) as usize
+    }
+
+    /// Latest recorded size of a file (§3.4 statistics source ii: "the
+    /// names and sizes of the files being processed in these tasks").
+    pub fn known_file_size(&self, path: &str) -> Option<u64> {
+        self.db
+            .collection(FILES_COLLECTION)
+            .query()
+            .filter("path", Op::Eq, path)
+            .last()
+            .and_then(|doc| doc.get("size").and_then(Json::as_u64))
+    }
+
+    /// Average observed transfer seconds per byte for stage-in traffic —
+    /// available to schedulers that want to estimate data transfer times
+    /// (§3.4 point iii).
+    pub fn avg_transfer_secs_per_byte(&self) -> Option<f64> {
+        let docs = self
+            .db
+            .collection(FILES_COLLECTION)
+            .query()
+            .filter("direction", Op::Eq, "in")
+            .filter("size", Op::Gt, 0.0)
+            .collect();
+        if docs.is_empty() {
+            return None;
+        }
+        let (mut secs, mut bytes) = (0.0, 0.0);
+        for d in docs {
+            secs += d.get("transfer_seconds").and_then(Json::as_f64).unwrap_or(0.0);
+            bytes += d.get("size").and_then(Json::as_f64).unwrap_or(0.0);
+        }
+        if bytes > 0.0 {
+            Some(secs / bytes)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task_event(name: &str, node: &str, start: f64, end: f64) -> TaskEvent {
+        TaskEvent {
+            id: 0,
+            name: name.into(),
+            command: format!("{name} ..."),
+            inputs: vec![],
+            outputs: vec![],
+            cpu_seconds: end - start,
+            threads: 1,
+            memory_mb: 100,
+            node: node.into(),
+            t_start: start,
+            t_end: end,
+            attempts: 1,
+            stdout: String::new(),
+            stderr: String::new(),
+        }
+    }
+
+    #[test]
+    fn latest_runtime_is_most_recent() {
+        let mut p = ProvenanceManager::new(ProvDb::new());
+        p.record_task(task_event("align", "w0", 0.0, 10.0));
+        p.record_task(task_event("align", "w0", 20.0, 25.0));
+        p.record_task(task_event("align", "w1", 0.0, 40.0));
+        assert_eq!(p.latest_runtime("align", "w0"), Some(5.0));
+        assert_eq!(p.latest_runtime("align", "w1"), Some(40.0));
+        assert_eq!(p.latest_runtime("align", "w9"), None);
+        assert_eq!(p.latest_runtime("sort", "w0"), None);
+        assert_eq!(p.observation_count("align"), 3);
+    }
+
+    #[test]
+    fn estimates_survive_across_manager_instances_sharing_a_db() {
+        let db = ProvDb::new();
+        let mut p1 = ProvenanceManager::new(db.clone());
+        p1.record_task(task_event("align", "w0", 0.0, 12.0));
+        drop(p1);
+        let p2 = ProvenanceManager::new(db);
+        assert_eq!(p2.latest_runtime("align", "w0"), Some(12.0));
+    }
+
+    #[test]
+    fn finish_produces_reexecutable_trace() {
+        let mut p = ProvenanceManager::new(ProvDb::new());
+        let mut e = task_event("align", "w0", 0.0, 10.0);
+        e.inputs = vec![("/in".into(), 5)];
+        e.outputs = vec![("/out".into(), 10)];
+        p.record_task(e);
+        p.record_file(FileEvent {
+            path: "/in".into(),
+            size: 5,
+            task: 0,
+            direction: "in".into(),
+            transfer_seconds: 0.1,
+        });
+        let trace = p.finish_workflow("demo", "cuneiform", 10.5);
+        let wf = hiway_lang::trace::parse_trace(&trace).unwrap();
+        assert_eq!(wf.name, "demo-replay");
+        assert_eq!(wf.tasks.len(), 1);
+    }
+
+    #[test]
+    fn transfer_rate_estimate() {
+        let mut p = ProvenanceManager::new(ProvDb::new());
+        assert_eq!(p.avg_transfer_secs_per_byte(), None);
+        p.record_file(FileEvent {
+            path: "/a".into(),
+            size: 100,
+            task: 0,
+            direction: "in".into(),
+            transfer_seconds: 2.0,
+        });
+        p.record_file(FileEvent {
+            path: "/b".into(),
+            size: 100,
+            task: 0,
+            direction: "out".into(), // ignored: only stage-in counts
+            transfer_seconds: 50.0,
+        });
+        assert_eq!(p.avg_transfer_secs_per_byte(), Some(0.02));
+    }
+}
+
+#[cfg(test)]
+mod statistics_source_tests {
+    use super::*;
+    use hiway_lang::trace::FileEvent;
+
+    /// The three statistics sources §3.4 enumerates are all queryable.
+    #[test]
+    fn file_sizes_and_transfer_rates_are_recorded() {
+        let mut p = ProvenanceManager::new(ProvDb::new());
+        assert_eq!(p.known_file_size("/in/reads.fq"), None);
+        p.record_file(FileEvent {
+            path: "/in/reads.fq".into(),
+            size: 1_000_000,
+            task: 0,
+            direction: "in".into(),
+            transfer_seconds: 2.0,
+        });
+        assert_eq!(p.known_file_size("/in/reads.fq"), Some(1_000_000));
+        assert_eq!(p.avg_transfer_secs_per_byte(), Some(2.0e-6));
+        // Latest size wins when a path is re-observed.
+        p.record_file(FileEvent {
+            path: "/in/reads.fq".into(),
+            size: 2_000_000,
+            task: 1,
+            direction: "in".into(),
+            transfer_seconds: 4.0,
+        });
+        assert_eq!(p.known_file_size("/in/reads.fq"), Some(2_000_000));
+    }
+}

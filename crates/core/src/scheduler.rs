@@ -1,0 +1,569 @@
+//! The Workflow Scheduler and its four policies (paper §3.4).
+//!
+//! The scheduler's contract with the Workflow Driver has two touch points,
+//! mirroring the paper's architecture: when a task's data dependencies are
+//! met the scheduler shapes the *container request* (anywhere, or pinned
+//! to a node for static policies), and when YARN hands back an allocated
+//! container the scheduler *selects* which ready task runs in it.
+//!
+//! * **FCFS** — tasks queue; the head runs in whatever container arrives.
+//! * **Data-aware** (Hi-WAY's default) — "whenever a new container is
+//!   allocated, the data-aware scheduler skims through all tasks pending
+//!   execution, from which it selects the task with the highest fraction
+//!   of input data available locally … on the compute node hosting the
+//!   newly allocated container."
+//! * **Round-robin** — static: tasks are assigned "in turn, and thus in
+//!   equal numbers, to the available compute nodes" before execution.
+//! * **HEFT** — static + adaptive: upward-rank ordering with
+//!   earliest-finish-time placement, fed by the Provenance Manager's
+//!   latest-observation runtime estimates (default zero for unexplored
+//!   task/machine pairs, which deliberately drives exploration).
+
+use std::collections::HashMap;
+
+use hiway_hdfs::Hdfs;
+use hiway_lang::{TaskId, TaskSpec};
+use hiway_sim::NodeId;
+use hiway_yarn::{ContainerRequest, Resource};
+
+use crate::config::SchedulerPolicy;
+use crate::provenance::ProvenanceManager;
+
+/// A Workflow Scheduler policy implementation.
+pub trait Scheduler {
+    /// For static policies: builds the complete task→node schedule before
+    /// execution. Called once, after the (static) workflow is parsed.
+    /// Dynamic policies ignore it.
+    fn plan(
+        &mut self,
+        tasks: &[TaskSpec],
+        nodes: &[NodeId],
+        node_names: &[String],
+        prov: &ProvenanceManager,
+    );
+
+    /// Shapes the container request for a task whose dependencies are met.
+    fn container_request(&self, task: &TaskSpec, resource: Resource) -> ContainerRequest;
+
+    /// Picks which of the `candidates` (ready, unlaunched tasks, in
+    /// readiness order) should run in a container on `node`.
+    fn select_task(
+        &mut self,
+        node: NodeId,
+        candidates: &[&TaskSpec],
+        hdfs: &Hdfs,
+    ) -> Option<TaskId>;
+
+    /// Dynamic adaptive policies re-select with fresh statistics; the
+    /// driver calls this variant (default: ignore the statistics).
+    fn select_task_with_stats(
+        &mut self,
+        node: NodeId,
+        node_name: &str,
+        candidates: &[&TaskSpec],
+        hdfs: &Hdfs,
+        _prov: &ProvenanceManager,
+    ) -> Option<TaskId> {
+        let _ = node_name;
+        self.select_task(node, candidates, hdfs)
+    }
+
+    /// Whether to *decline* a container on `node` for `task` and wait for
+    /// a better-placed one (late binding). The driver bounds consecutive
+    /// declines, so a pathological estimate cannot starve a task.
+    fn decline(
+        &self,
+        _node: NodeId,
+        _node_name: &str,
+        _task: &TaskSpec,
+        _prov: &ProvenanceManager,
+    ) -> bool {
+        false
+    }
+
+    fn policy(&self) -> SchedulerPolicy;
+}
+
+/// Instantiates the scheduler for a policy.
+pub fn make_scheduler(policy: SchedulerPolicy) -> Box<dyn Scheduler> {
+    match policy {
+        SchedulerPolicy::Fcfs => Box::new(FcfsScheduler),
+        SchedulerPolicy::DataAware => Box::new(DataAwareScheduler),
+        SchedulerPolicy::RoundRobin => Box::new(StaticScheduler::new(SchedulerPolicy::RoundRobin)),
+        SchedulerPolicy::Heft => Box::new(StaticScheduler::new(SchedulerPolicy::Heft)),
+        SchedulerPolicy::Adaptive => Box::new(AdaptiveScheduler),
+    }
+}
+
+/// First-come-first-served.
+pub struct FcfsScheduler;
+
+impl Scheduler for FcfsScheduler {
+    fn plan(&mut self, _: &[TaskSpec], _: &[NodeId], _: &[String], _: &ProvenanceManager) {}
+
+    fn container_request(&self, _task: &TaskSpec, resource: Resource) -> ContainerRequest {
+        ContainerRequest::anywhere(resource)
+    }
+
+    fn select_task(&mut self, _node: NodeId, candidates: &[&TaskSpec], _hdfs: &Hdfs) -> Option<TaskId> {
+        candidates.first().map(|t| t.id)
+    }
+
+    fn policy(&self) -> SchedulerPolicy {
+        SchedulerPolicy::Fcfs
+    }
+}
+
+/// Data-aware (the default).
+pub struct DataAwareScheduler;
+
+impl Scheduler for DataAwareScheduler {
+    fn plan(&mut self, _: &[TaskSpec], _: &[NodeId], _: &[String], _: &ProvenanceManager) {}
+
+    fn container_request(&self, _task: &TaskSpec, resource: Resource) -> ContainerRequest {
+        ContainerRequest::anywhere(resource)
+    }
+
+    fn select_task(&mut self, node: NodeId, candidates: &[&TaskSpec], hdfs: &Hdfs) -> Option<TaskId> {
+        candidates
+            .iter()
+            .map(|t| {
+                let frac = hdfs.locality_fraction(&t.inputs, node);
+                (t.id, frac)
+            })
+            // max_by prefers later elements on ties; iterate reversed so
+            // ties resolve to the *earliest* ready task (FCFS within ties).
+            .rev()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("fractions are finite"))
+            .map(|(id, _)| id)
+    }
+
+    fn policy(&self) -> SchedulerPolicy {
+        SchedulerPolicy::DataAware
+    }
+}
+
+/// Shared machinery for the two static policies: a pre-built task→node
+/// assignment, enforced through pinned container requests.
+pub struct StaticScheduler {
+    policy: SchedulerPolicy,
+    assignment: HashMap<TaskId, NodeId>,
+}
+
+impl StaticScheduler {
+    pub fn new(policy: SchedulerPolicy) -> StaticScheduler {
+        debug_assert!(policy.is_static());
+        StaticScheduler { policy, assignment: HashMap::new() }
+    }
+
+    /// The planned node for a task (exposed for tests and diagnostics).
+    pub fn assigned_node(&self, task: TaskId) -> Option<NodeId> {
+        self.assignment.get(&task).copied()
+    }
+
+    fn plan_round_robin(&mut self, tasks: &[TaskSpec], nodes: &[NodeId]) {
+        for (i, t) in tasks.iter().enumerate() {
+            self.assignment.insert(t.id, nodes[i % nodes.len()]);
+        }
+    }
+
+    /// HEFT (Topcuoglu et al. 2002), with task runtimes estimated from
+    /// provenance exactly as §3.4 prescribes: the latest observation per
+    /// task/node pair, and "a default runtime of zero … to encourage
+    /// trying out new assignments". Observed makespans already include the
+    /// stage-in/out time the measured node paid, so communication costs
+    /// are folded into the per-node estimates rather than modelled as
+    /// separate edge weights.
+    fn plan_heft(
+        &mut self,
+        tasks: &[TaskSpec],
+        nodes: &[NodeId],
+        node_names: &[String],
+        prov: &ProvenanceManager,
+    ) {
+        let n = nodes.len();
+        let idx_of: HashMap<TaskId, usize> =
+            tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+
+        // w[t][n]: estimated runtime of task t on node n (latest
+        // observation; zero when unexplored, which drives exploration).
+        let w: Vec<Vec<f64>> = tasks
+            .iter()
+            .map(|t| {
+                nodes
+                    .iter()
+                    .map(|node| {
+                        prov.latest_runtime(&t.name, &node_names[node.index()]).unwrap_or(0.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let w_avg: Vec<f64> = w.iter().map(|row| row.iter().sum::<f64>() / n as f64).collect();
+
+        // File-mediated successor lists.
+        let mut producer_of: HashMap<&str, usize> = HashMap::new();
+        for (i, t) in tasks.iter().enumerate() {
+            for o in &t.outputs {
+                producer_of.insert(o.path.as_str(), i);
+            }
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+        for (i, t) in tasks.iter().enumerate() {
+            for input in &t.inputs {
+                if let Some(&p) = producer_of.get(input.as_str()) {
+                    children[p].push(i);
+                    parents[i].push(p);
+                }
+            }
+        }
+
+        // Upward ranks via reverse topological order (memoized DFS).
+        let mut rank = vec![f64::NAN; tasks.len()];
+        fn upward(
+            i: usize,
+            rank: &mut Vec<f64>,
+            children: &[Vec<usize>],
+            w_avg: &[f64],
+        ) -> f64 {
+            if !rank[i].is_nan() {
+                return rank[i];
+            }
+            let best_child = children[i]
+                .iter()
+                .map(|&c| upward(c, rank, children, w_avg))
+                .fold(0.0, f64::max);
+            rank[i] = w_avg[i] + best_child;
+            rank[i]
+        }
+        for i in 0..tasks.len() {
+            upward(i, &mut rank, &children, &w_avg);
+        }
+
+        // Decreasing rank; ties broken by task id for determinism.
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        order.sort_by(|&a, &b| {
+            rank[b]
+                .partial_cmp(&rank[a])
+                .expect("ranks are finite")
+                .then(tasks[a].id.cmp(&tasks[b].id))
+        });
+
+        // Earliest-finish-time placement. With all-zero estimates every
+        // node looks identical; breaking ties by the node with the fewest
+        // assigned tasks keeps the exploration spread the paper's
+        // default-zero strategy is designed to produce.
+        let mut node_ready = vec![0.0f64; n];
+        let mut node_load = vec![0usize; n];
+        let mut finish = vec![0.0f64; tasks.len()];
+        for &ti in &order {
+            let data_ready = parents[ti].iter().map(|&p| finish[p]).fold(0.0, f64::max);
+            let mut best: Option<(usize, f64)> = None;
+            for ni in 0..n {
+                let eft = node_ready[ni].max(data_ready) + w[ti][ni];
+                let better = match best {
+                    None => true,
+                    Some((bni, beft)) => {
+                        eft < beft - 1e-12
+                            || ((eft - beft).abs() <= 1e-12 && node_load[ni] < node_load[bni])
+                    }
+                };
+                if better {
+                    best = Some((ni, eft));
+                }
+            }
+            let (ni, eft) = best.expect("at least one node");
+            self.assignment.insert(tasks[ti].id, nodes[ni]);
+            node_ready[ni] = eft;
+            node_load[ni] += 1;
+            finish[ti] = eft;
+        }
+        let _ = idx_of;
+    }
+}
+
+impl Scheduler for StaticScheduler {
+    fn plan(
+        &mut self,
+        tasks: &[TaskSpec],
+        nodes: &[NodeId],
+        node_names: &[String],
+        prov: &ProvenanceManager,
+    ) {
+        assert!(!nodes.is_empty(), "cannot plan on an empty cluster");
+        match self.policy {
+            SchedulerPolicy::RoundRobin => self.plan_round_robin(tasks, nodes),
+            SchedulerPolicy::Heft => self.plan_heft(tasks, nodes, node_names, prov),
+            _ => unreachable!("dynamic policy in StaticScheduler"),
+        }
+    }
+
+    fn container_request(&self, task: &TaskSpec, resource: Resource) -> ContainerRequest {
+        match self.assignment.get(&task.id) {
+            Some(&node) => ContainerRequest::pinned(resource, node),
+            // A task outside the plan (shouldn't happen for static
+            // languages) falls back to anywhere.
+            None => ContainerRequest::anywhere(resource),
+        }
+    }
+
+    fn select_task(&mut self, node: NodeId, candidates: &[&TaskSpec], _hdfs: &Hdfs) -> Option<TaskId> {
+        candidates
+            .iter()
+            .find(|t| self.assignment.get(&t.id) == Some(&node))
+            .or_else(|| {
+                candidates
+                    .iter()
+                    .find(|t| !self.assignment.contains_key(&t.id))
+            })
+            .map(|t| t.id)
+    }
+
+    fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+}
+
+/// Dynamic adaptive scheduling: no pre-built schedule (so iterative
+/// workflows are fine), but container-arrival-time selection is driven by
+/// the Provenance Manager's runtime estimates. For a container on node
+/// `n`, each candidate is scored by `latest(sig, n) / avg over observed
+/// nodes` — prefer the task for which this node is relatively fastest;
+/// unobserved task/node pairs score 0 (the paper's exploration-friendly
+/// zero default). Ties fall back to data-aware locality.
+#[derive(Default)]
+pub struct AdaptiveScheduler;
+
+impl Scheduler for AdaptiveScheduler {
+    fn plan(&mut self, _: &[TaskSpec], _: &[NodeId], _: &[String], _: &ProvenanceManager) {}
+
+    fn container_request(&self, _task: &TaskSpec, resource: Resource) -> ContainerRequest {
+        ContainerRequest::anywhere(resource)
+    }
+
+    fn select_task(&mut self, _node: NodeId, candidates: &[&TaskSpec], _hdfs: &Hdfs) -> Option<TaskId> {
+        candidates.first().map(|t| t.id)
+    }
+
+    fn select_task_with_stats(
+        &mut self,
+        node: NodeId,
+        node_name: &str,
+        candidates: &[&TaskSpec],
+        hdfs: &Hdfs,
+        prov: &ProvenanceManager,
+    ) -> Option<TaskId> {
+        // Relative fitness of running `t` here: how does this node's
+        // latest observation compare to the estimate of placing the task
+        // "somewhere typical"? Lower is better; 0 (unobserved) explores.
+        let score = |t: &TaskSpec| -> f64 {
+            let here = prov.latest_runtime(&t.name, node_name).unwrap_or(0.0);
+            if here == 0.0 {
+                return 0.0; // unexplored: try it
+            }
+            let avg = prov.average_runtime(&t.name).unwrap_or(here);
+            if avg <= 0.0 {
+                0.0
+            } else {
+                here / avg
+            }
+        };
+        candidates
+            .iter()
+            .map(|t| {
+                (
+                    t.id,
+                    score(t),
+                    // Locality as the tie-breaker.
+                    -hdfs.locality_fraction(&t.inputs, node),
+                )
+            })
+            // Earliest-ready wins remaining ties (stable min by rev+min_by).
+            .rev()
+            .min_by(|(_, s1, l1), (_, s2, l2)| {
+                s1.partial_cmp(s2)
+                    .expect("scores are finite")
+                    .then(l1.partial_cmp(l2).expect("fractions are finite"))
+            })
+            .map(|(id, _, _)| id)
+    }
+
+    fn decline(
+        &self,
+        _node: NodeId,
+        node_name: &str,
+        task: &TaskSpec,
+        prov: &ProvenanceManager,
+    ) -> bool {
+        // Decline when this node is known to run the signature much
+        // slower than its cross-node average — wait for a faster host.
+        match (prov.latest_runtime(&task.name, node_name), prov.average_runtime(&task.name)) {
+            (Some(here), Some(avg)) if avg > 0.0 => here > avg * 1.5,
+            _ => false, // unexplored: accept (and learn)
+        }
+    }
+
+    fn policy(&self) -> SchedulerPolicy {
+        SchedulerPolicy::Adaptive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiway_lang::{OutputSpec, TaskCost};
+    use hiway_provdb::ProvDb;
+
+    fn task(id: u64, name: &str, inputs: &[&str], outputs: &[&str]) -> TaskSpec {
+        TaskSpec {
+            id: TaskId(id),
+            name: name.into(),
+            command: name.into(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs
+                .iter()
+                .map(|s| OutputSpec { path: s.to_string(), size: 10 })
+                .collect(),
+            cost: TaskCost::default(),
+        }
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("w{i}")).collect()
+    }
+
+    fn record(prov: &mut ProvenanceManager, name: &str, node: &str, makespan: f64) {
+        prov.record_task(hiway_lang::trace::TaskEvent {
+            id: 0,
+            name: name.into(),
+            command: name.into(),
+            inputs: vec![],
+            outputs: vec![],
+            cpu_seconds: makespan,
+            threads: 1,
+            memory_mb: 1,
+            node: node.into(),
+            t_start: 0.0,
+            t_end: makespan,
+            attempts: 1,
+            stdout: String::new(),
+            stderr: String::new(),
+        });
+    }
+
+    #[test]
+    fn fcfs_selects_queue_head() {
+        let mut s = FcfsScheduler;
+        let (a, b) = (task(0, "a", &[], &[]), task(1, "b", &[], &[]));
+        let hdfs = Hdfs::new(2, Default::default(), 0);
+        assert_eq!(s.select_task(NodeId(0), &[&a, &b], &hdfs), Some(TaskId(0)));
+        assert_eq!(s.select_task(NodeId(0), &[], &hdfs), None);
+        let req = s.container_request(&a, Resource::new(1, 100));
+        assert!(req.preference.is_none());
+    }
+
+    #[test]
+    fn data_aware_prefers_local_input() {
+        // Replication 1 keeps each file on exactly its writer's node, so
+        // the locality fractions are unambiguous.
+        let config = hiway_hdfs::HdfsConfig { replication: 1, ..Default::default() };
+        let mut hdfs = Hdfs::new(4, config, 3);
+        hdfs.create("/big0", 100 << 20, NodeId(0)).unwrap();
+        hdfs.create("/big2", 100 << 20, NodeId(2)).unwrap();
+        let t0 = task(0, "t", &["/big0"], &["/o0"]);
+        let t2 = task(1, "t", &["/big2"], &["/o2"]);
+        let mut s = DataAwareScheduler;
+        // Container on node 2: the task whose input lives there wins even
+        // though t0 is ahead in the queue.
+        assert_eq!(s.select_task(NodeId(2), &[&t0, &t2], &hdfs), Some(TaskId(1)));
+        assert_eq!(s.select_task(NodeId(0), &[&t0, &t2], &hdfs), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn data_aware_ties_fall_back_to_fcfs_order() {
+        let hdfs = Hdfs::new(2, Default::default(), 3);
+        let a = task(0, "a", &["/nowhere"], &[]);
+        let b = task(1, "b", &["/nowhere"], &[]);
+        let mut s = DataAwareScheduler;
+        assert_eq!(s.select_task(NodeId(0), &[&a, &b], &hdfs), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn round_robin_spreads_equally() {
+        let mut s = StaticScheduler::new(SchedulerPolicy::RoundRobin);
+        let tasks: Vec<TaskSpec> = (0..6).map(|i| task(i, "t", &[], &[])).collect();
+        let nodes = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let prov = ProvenanceManager::new(ProvDb::new());
+        s.plan(&tasks, &nodes, &names(3), &prov);
+        let mut counts = [0usize; 3];
+        for t in &tasks {
+            counts[s.assigned_node(t.id).unwrap().index()] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2]);
+        // Requests are pinned; selection honours the assignment.
+        let req = s.container_request(&tasks[4], Resource::new(1, 100));
+        assert_eq!(req.preference, Some(NodeId(1)));
+        assert!(!req.relax_locality);
+        let hdfs = Hdfs::new(3, Default::default(), 0);
+        let refs: Vec<&TaskSpec> = tasks.iter().collect();
+        assert_eq!(s.select_task(NodeId(1), &refs, &hdfs), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn heft_without_provenance_spreads_by_load() {
+        let mut s = StaticScheduler::new(SchedulerPolicy::Heft);
+        let tasks: Vec<TaskSpec> = (0..4).map(|i| task(i, "t", &[], &[])).collect();
+        let nodes = vec![NodeId(0), NodeId(1)];
+        let prov = ProvenanceManager::new(ProvDb::new());
+        s.plan(&tasks, &nodes, &names(2), &prov);
+        let mut counts = [0usize; 2];
+        for t in &tasks {
+            counts[s.assigned_node(t.id).unwrap().index()] += 1;
+        }
+        // All-zero estimates: load tie-breaking spreads tasks evenly.
+        assert_eq!(counts, [2, 2]);
+    }
+
+    #[test]
+    fn heft_avoids_known_slow_node() {
+        let mut prov = ProvenanceManager::new(ProvDb::new());
+        // Node w1 is 10x slower for this signature.
+        record(&mut prov, "t", "w0", 10.0);
+        record(&mut prov, "t", "w1", 100.0);
+        let mut s = StaticScheduler::new(SchedulerPolicy::Heft);
+        let tasks: Vec<TaskSpec> = (0..4).map(|i| task(i, "t", &[], &[])).collect();
+        let nodes = vec![NodeId(0), NodeId(1)];
+        s.plan(&tasks, &nodes, &names(2), &prov);
+        // EFTs: placing everything on w0 serially (10,20,30,40) beats
+        // w1's 100 each time.
+        for t in &tasks {
+            assert_eq!(s.assigned_node(t.id), Some(NodeId(0)));
+        }
+    }
+
+    #[test]
+    fn heft_ranks_respect_the_critical_path() {
+        let mut prov = ProvenanceManager::new(ProvDb::new());
+        record(&mut prov, "long", "w0", 100.0);
+        record(&mut prov, "long", "w1", 100.0);
+        record(&mut prov, "short", "w0", 1.0);
+        record(&mut prov, "short", "w1", 1.0);
+        record(&mut prov, "sink", "w0", 1.0);
+        record(&mut prov, "sink", "w1", 1.0);
+        // long -> sink, short independent. The critical chain should be
+        // placed first and not displaced by the short task.
+        let tasks = vec![
+            task(0, "short", &[], &[]),
+            task(1, "long", &[], &["/mid"]),
+            task(2, "sink", &["/mid"], &[]),
+        ];
+        let nodes = vec![NodeId(0), NodeId(1)];
+        let mut s = StaticScheduler::new(SchedulerPolicy::Heft);
+        s.plan(&tasks, &nodes, &names(2), &prov);
+        // `long` has the highest upward rank (101) and is placed first on
+        // an empty node; `short` lands on the other node.
+        let long_node = s.assigned_node(TaskId(1)).unwrap();
+        let short_node = s.assigned_node(TaskId(0)).unwrap();
+        assert_ne!(long_node, short_node);
+    }
+}

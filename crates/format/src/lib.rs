@@ -1,0 +1,14 @@
+//! # hiway-format — self-contained JSON and XML support
+//!
+//! Hi-WAY's front-ends and provenance layer move three textual formats
+//! around: Galaxy workflows and provenance traces are JSON, and Pegasus DAX
+//! workflows are XML. The allowed dependency set for this reproduction does
+//! not include `serde_json` or an XML crate, so this crate implements the
+//! small subset needed — a full JSON value model with parser and writer,
+//! and a namespace-oblivious XML tree parser sufficient for DAX documents.
+
+pub mod json;
+pub mod xml;
+
+pub use json::{Json, JsonError};
+pub use xml::{XmlElement, XmlError};

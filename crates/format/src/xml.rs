@@ -1,0 +1,390 @@
+//! Minimal XML tree parser — enough for Pegasus DAX documents.
+//!
+//! Supports elements, attributes (single or double quoted), text content,
+//! self-closing tags, comments, processing instructions / declarations, and
+//! the five predefined entities. Namespaces are kept as literal prefixes
+//! (DAX uses a default namespace only). DTDs and CDATA are out of scope —
+//! DAX never uses them.
+
+use std::fmt;
+
+/// An XML element: name, attributes in document order, child elements, and
+/// concatenated text content.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct XmlElement {
+    pub name: String,
+    pub attributes: Vec<(String, String)>,
+    pub children: Vec<XmlElement>,
+    pub text: String,
+}
+
+impl XmlElement {
+    /// Parses a document and returns its root element.
+    pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
+        let mut p = XmlParser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_misc()?;
+        let root = p.element()?;
+        p.skip_misc()?;
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing content after root element"));
+        }
+        Ok(root)
+    }
+
+    /// Value of an attribute, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Attribute value or an error naming the element — DAX parsing uses
+    /// this to produce actionable messages.
+    pub fn require_attr(&self, name: &str) -> Result<&str, XmlError> {
+        self.attr(name).ok_or_else(|| XmlError {
+            offset: 0,
+            message: format!("element <{}> missing attribute '{}'", self.name, name),
+        })
+    }
+
+    /// Child elements with a given tag name (namespace prefixes ignored).
+    pub fn children_named<'e, 'n: 'e>(
+        &'e self,
+        name: &'n str,
+    ) -> impl Iterator<Item = &'e XmlElement> + 'e {
+        self.children.iter().filter(move |c| local_name(&c.name) == name)
+    }
+
+    /// First child with a given tag name.
+    pub fn child_named(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find(|c| local_name(&c.name) == name)
+    }
+}
+
+/// Strips a namespace prefix: `ns:job` → `job`.
+pub fn local_name(name: &str) -> &str {
+    name.rsplit(':').next().unwrap_or(name)
+}
+
+/// A parse error with byte offset context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XmlError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Maximum element nesting depth (stack-overflow guard).
+const MAX_DEPTH: usize = 512;
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, and `<?...?>` declarations.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
+        while self.pos < self.bytes.len() {
+            if self.starts_with(end) {
+                self.pos += end.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(self.err(format!("unterminated section (expected '{end}')")))
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while matches!(self.peek(),
+            Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self) -> Result<XmlElement, XmlError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} elements")));
+        }
+        let el = self.element_inner();
+        self.depth -= 1;
+        el
+    }
+
+    fn element_inner(&mut self) -> Result<XmlElement, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut el = XmlElement {
+            name,
+            ..XmlElement::default()
+        };
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(el); // self-closing
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek() != Some(quote) {
+                        if self.peek().is_none() {
+                            return Err(self.err("unterminated attribute value"));
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    el.attributes.push((key, unescape(&raw)));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+
+        // Content: children interleaved with text until the closing tag.
+        loop {
+            let text_start = self.pos;
+            while self.peek().is_some() && self.peek() != Some(b'<') {
+                self.pos += 1;
+            }
+            if self.pos > text_start {
+                let raw = String::from_utf8_lossy(&self.bytes[text_start..self.pos]);
+                el.text.push_str(&unescape(&raw));
+            }
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if local_name(&close) != local_name(&el.name) {
+                    return Err(self.err(format!(
+                        "mismatched closing tag: <{}> closed by </{}>",
+                        el.name, close
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in closing tag"));
+                }
+                self.pos += 1;
+                el.text = el.text.trim().to_string();
+                return Ok(el);
+            }
+            if self.peek() == Some(b'<') {
+                el.children.push(self.element()?);
+                continue;
+            }
+            return Err(self.err(format!("unterminated element <{}>", el.name)));
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let end = rest.find(';');
+        match end {
+            Some(end) => {
+                let entity = &rest[1..end];
+                match entity {
+                    "lt" => out.push('<'),
+                    "gt" => out.push('>'),
+                    "amp" => out.push('&'),
+                    "quot" => out.push('"'),
+                    "apos" => out.push('\''),
+                    e if e.starts_with("#x") || e.starts_with("#X") => {
+                        if let Some(c) =
+                            u32::from_str_radix(&e[2..], 16).ok().and_then(char::from_u32)
+                        {
+                            out.push(c);
+                        }
+                    }
+                    e if e.starts_with('#') => {
+                        if let Some(c) = e[1..].parse::<u32>().ok().and_then(char::from_u32) {
+                            out.push(c);
+                        }
+                    }
+                    _ => out.push_str(&rest[..=end]), // unknown: keep literally
+                }
+                rest = &rest[end + 1..];
+            }
+            None => {
+                out.push_str(rest);
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_element() {
+        let el = XmlElement::parse(r#"<adag name="montage" count="1"/>"#).unwrap();
+        assert_eq!(el.name, "adag");
+        assert_eq!(el.attr("name"), Some("montage"));
+        assert_eq!(el.attr("count"), Some("1"));
+        assert_eq!(el.attr("missing"), None);
+    }
+
+    #[test]
+    fn parse_nested_with_text() {
+        let doc = r#"
+            <?xml version="1.0" encoding="UTF-8"?>
+            <!-- a DAX-like document -->
+            <adag name="test">
+              <job id="ID1" name="mProject">
+                <argument>-x input.fits</argument>
+                <uses file="input.fits" link="input"/>
+                <uses file="out.fits" link="output"/>
+              </job>
+              <child ref="ID2"><parent ref="ID1"/></child>
+            </adag>"#;
+        let el = XmlElement::parse(doc).unwrap();
+        assert_eq!(el.name, "adag");
+        assert_eq!(el.children.len(), 2);
+        let job = el.child_named("job").unwrap();
+        assert_eq!(job.attr("id"), Some("ID1"));
+        assert_eq!(job.children_named("uses").count(), 2);
+        assert_eq!(
+            job.child_named("argument").unwrap().text,
+            "-x input.fits"
+        );
+        let child = el.child_named("child").unwrap();
+        assert_eq!(child.child_named("parent").unwrap().attr("ref"), Some("ID1"));
+    }
+
+    #[test]
+    fn entities_unescaped() {
+        let el = XmlElement::parse(r#"<a v="&lt;x&gt; &amp; &quot;y&quot;">&#65;&#x42;</a>"#)
+            .unwrap();
+        assert_eq!(el.attr("v"), Some(r#"<x> & "y""#));
+        assert_eq!(el.text, "AB");
+    }
+
+    #[test]
+    fn namespace_prefixes_are_transparent() {
+        let el = XmlElement::parse(r#"<p:adag xmlns:p="urn:x"><p:job id="1"/></p:adag>"#).unwrap();
+        assert_eq!(local_name(&el.name), "adag");
+        assert!(el.child_named("job").is_some());
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(XmlElement::parse("<a><b></a></b>").is_err());
+        assert!(XmlElement::parse("<a>").is_err());
+        assert!(XmlElement::parse("<a></a><b/>").is_err());
+        assert!(XmlElement::parse("").is_err());
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let el = XmlElement::parse("<a v='1'/>").unwrap();
+        assert_eq!(el.attr("v"), Some("1"));
+    }
+
+    #[test]
+    fn require_attr_reports_element() {
+        let el = XmlElement::parse("<job/>").unwrap();
+        let err = el.require_attr("id").unwrap_err();
+        assert!(err.message.contains("<job>"));
+        assert!(err.message.contains("'id'"));
+    }
+
+    #[test]
+    fn comments_inside_content_skipped() {
+        let el = XmlElement::parse("<a><!-- note -->text<b/><!-- end --></a>").unwrap();
+        assert_eq!(el.text, "text");
+        assert_eq!(el.children.len(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! HDFS error type.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated NameNode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HdfsError {
+    /// The path does not exist in the namespace.
+    NotFound(String),
+    /// `create` on a path that already exists.
+    AlreadyExists(String),
+    /// No alive DataNode can host a replica.
+    NoAliveDatanodes,
+    /// Every replica of a block of this file is on dead nodes.
+    DataLost(String),
+    /// The referenced DataNode id is outside the cluster.
+    UnknownNode(u32),
+}
+
+impl fmt::Display for HdfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdfsError::NotFound(p) => write!(f, "hdfs: path not found: {p}"),
+            HdfsError::AlreadyExists(p) => write!(f, "hdfs: path already exists: {p}"),
+            HdfsError::NoAliveDatanodes => write!(f, "hdfs: no alive datanodes"),
+            HdfsError::DataLost(p) => write!(f, "hdfs: all replicas lost for: {p}"),
+            HdfsError::UnknownNode(n) => write!(f, "hdfs: unknown datanode {n}"),
+        }
+    }
+}
+
+impl std::error::Error for HdfsError {}

@@ -1,0 +1,597 @@
+//! The NameNode metadata plane: namespace, block placement, locality
+//! queries, DataNode failure, and re-replication.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use hiway_sim::NodeId;
+
+use crate::error::HdfsError;
+use crate::plan::{ReadPlan, ReadSegment, TransferSource, WritePlan};
+
+/// NameNode configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HdfsConfig {
+    /// Block size in bytes. HDFS's classic default of 64 MiB, which the
+    /// paper's Hadoop 2.x deployments used.
+    pub block_size: u64,
+    /// Replication factor (default 3).
+    pub replication: u16,
+}
+
+impl Default for HdfsConfig {
+    fn default() -> HdfsConfig {
+        HdfsConfig {
+            block_size: 64 << 20,
+            replication: 3,
+        }
+    }
+}
+
+/// One block of a file and the DataNodes currently holding replicas.
+#[derive(Clone, Debug)]
+pub struct BlockInfo {
+    pub size: u64,
+    pub replicas: Vec<NodeId>,
+}
+
+/// Public view of a file's metadata.
+#[derive(Clone, Debug)]
+pub struct FileStatus {
+    pub path: String,
+    pub size: u64,
+    pub blocks: Vec<BlockInfo>,
+}
+
+#[derive(Clone, Debug)]
+struct FileMeta {
+    size: u64,
+    blocks: Vec<BlockInfo>,
+}
+
+/// The simulated NameNode. All operations are metadata-only; data movement
+/// happens in the engine via the plans these methods return.
+pub struct Hdfs {
+    config: HdfsConfig,
+    files: BTreeMap<String, FileMeta>,
+    alive: Vec<bool>,
+    used_bytes: Vec<u64>,
+    rng: StdRng,
+}
+
+impl Hdfs {
+    /// Creates a NameNode managing `num_datanodes` DataNodes (one per
+    /// cluster node, by convention `NodeId(i)` for `i < num_datanodes`).
+    pub fn new(num_datanodes: usize, config: HdfsConfig, seed: u64) -> Hdfs {
+        Hdfs {
+            config,
+            files: BTreeMap::new(),
+            alive: vec![true; num_datanodes],
+            used_bytes: vec![0; num_datanodes],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn config(&self) -> &HdfsConfig {
+        &self.config
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    pub fn len(&self, path: &str) -> Result<u64, HdfsError> {
+        self.files
+            .get(path)
+            .map(|f| f.size)
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))
+    }
+
+    /// True when the namespace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    pub fn status(&self, path: &str) -> Result<FileStatus, HdfsError> {
+        let meta = self
+            .files
+            .get(path)
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))?;
+        Ok(FileStatus {
+            path: path.to_string(),
+            size: meta.size,
+            blocks: meta.blocks.clone(),
+        })
+    }
+
+    /// Bytes stored on a DataNode (sum over replicas).
+    pub fn used_on(&self, node: NodeId) -> u64 {
+        self.used_bytes.get(node.index()).copied().unwrap_or(0)
+    }
+
+    fn alive_nodes(&self) -> Vec<NodeId> {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Registers a new file written from `writer` and returns the plan of
+    /// disk/network work the write costs. The first replica lands on the
+    /// writer when it is an alive DataNode (HDFS's write-affinity rule,
+    /// which is what makes data-aware scheduling pay off for chained
+    /// tasks); remaining replicas go to distinct random alive nodes.
+    pub fn create(
+        &mut self,
+        path: &str,
+        size: u64,
+        writer: NodeId,
+    ) -> Result<WritePlan, HdfsError> {
+        if self.files.contains_key(path) {
+            return Err(HdfsError::AlreadyExists(path.to_string()));
+        }
+        let alive = self.alive_nodes();
+        if alive.is_empty() {
+            return Err(HdfsError::NoAliveDatanodes);
+        }
+        let writer_alive = writer.index() < self.alive.len() && self.alive[writer.index()];
+
+        let mut blocks = Vec::new();
+        let mut remote_bytes: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut local_bytes = 0u64;
+        let mut remaining = size;
+        // Zero-byte files still get one (empty) block for uniformity.
+        loop {
+            let bsize = remaining.min(self.config.block_size);
+            remaining -= bsize;
+
+            let mut replicas = Vec::with_capacity(self.config.replication as usize);
+            if writer_alive {
+                replicas.push(writer);
+                local_bytes += bsize;
+            }
+            let mut others: Vec<NodeId> = alive
+                .iter()
+                .copied()
+                .filter(|n| !(writer_alive && *n == writer))
+                .collect();
+            others.shuffle(&mut self.rng);
+            for n in others {
+                if replicas.len() >= self.config.replication as usize {
+                    break;
+                }
+                replicas.push(n);
+            }
+            // Network cost: each replica other than the first one.
+            for (i, n) in replicas.iter().enumerate() {
+                if i == 0 {
+                    if !writer_alive {
+                        *remote_bytes.entry(n.0).or_default() += bsize;
+                    }
+                } else {
+                    *remote_bytes.entry(n.0).or_default() += bsize;
+                }
+            }
+            for n in &replicas {
+                self.used_bytes[n.index()] += bsize;
+            }
+            blocks.push(BlockInfo {
+                size: bsize,
+                replicas,
+            });
+            if remaining == 0 {
+                break;
+            }
+        }
+
+        self.files.insert(
+            path.to_string(),
+            FileMeta { size, blocks },
+        );
+        Ok(WritePlan {
+            path: path.to_string(),
+            writer,
+            local_bytes,
+            remote: remote_bytes
+                .into_iter()
+                .map(|(n, b)| (NodeId(n), b))
+                .collect(),
+        })
+    }
+
+    /// Plans a read of `path` onto `reader`: every block is served from a
+    /// local replica when one exists, otherwise from a random alive remote
+    /// replica. Segments are merged per source node.
+    pub fn read_plan(&mut self, path: &str, reader: NodeId) -> Result<ReadPlan, HdfsError> {
+        let meta = self
+            .files
+            .get(path)
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))?;
+        let mut local = 0u64;
+        let mut per_remote: BTreeMap<u32, u64> = BTreeMap::new();
+        for block in &meta.blocks {
+            let alive_replicas: Vec<NodeId> = block
+                .replicas
+                .iter()
+                .copied()
+                .filter(|n| self.alive[n.index()])
+                .collect();
+            if alive_replicas.is_empty() {
+                return Err(HdfsError::DataLost(path.to_string()));
+            }
+            if alive_replicas.contains(&reader) {
+                local += block.size;
+            } else {
+                let src = alive_replicas[self.rng.gen_range(0..alive_replicas.len())];
+                *per_remote.entry(src.0).or_default() += block.size;
+            }
+        }
+        let mut segments = Vec::new();
+        if local > 0 {
+            segments.push(ReadSegment {
+                source: TransferSource::Local,
+                bytes: local,
+            });
+        }
+        for (n, bytes) in per_remote {
+            segments.push(ReadSegment {
+                source: TransferSource::Remote(NodeId(n)),
+                bytes,
+            });
+        }
+        Ok(ReadPlan {
+            path: path.to_string(),
+            reader: Some(reader),
+            segments,
+        })
+    }
+
+    /// Fraction of the total bytes of `paths` that is already local to
+    /// `node` — the quantity the data-aware scheduler maximizes (§3.4).
+    /// Missing paths contribute zero local bytes but count their size if
+    /// known; unknown paths are ignored entirely (e.g. a task input
+    /// fetched from outside HDFS).
+    pub fn locality_fraction(&self, paths: &[String], node: NodeId) -> f64 {
+        let mut total = 0u64;
+        let mut local = 0u64;
+        for path in paths {
+            if let Some(meta) = self.files.get(path) {
+                total += meta.size;
+                for block in &meta.blocks {
+                    if block.replicas.contains(&node) && self.alive[node.index()] {
+                        local += block.size;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            local as f64 / total as f64
+        }
+    }
+
+    /// Absolute number of bytes of `paths` local to `node`.
+    pub fn local_bytes(&self, paths: &[String], node: NodeId) -> u64 {
+        let mut local = 0u64;
+        for path in paths {
+            if let Some(meta) = self.files.get(path) {
+                for block in &meta.blocks {
+                    if block.replicas.contains(&node) && self.alive[node.index()] {
+                        local += block.size;
+                    }
+                }
+            }
+        }
+        local
+    }
+
+    /// Removes a file from the namespace.
+    pub fn delete(&mut self, path: &str) -> Result<(), HdfsError> {
+        let meta = self
+            .files
+            .remove(path)
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))?;
+        for block in &meta.blocks {
+            for n in &block.replicas {
+                self.used_bytes[n.index()] =
+                    self.used_bytes[n.index()].saturating_sub(block.size);
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks a DataNode dead. Files stay readable as long as each block
+    /// retains one alive replica. Follow with [`Hdfs::re_replicate`] to
+    /// restore the replication factor (returns copy plans to execute).
+    pub fn fail_node(&mut self, node: NodeId) -> Result<(), HdfsError> {
+        let idx = node.index();
+        if idx >= self.alive.len() {
+            return Err(HdfsError::UnknownNode(node.0));
+        }
+        self.alive[idx] = false;
+        Ok(())
+    }
+
+    /// Brings a DataNode back (without its old data — like a fresh disk).
+    pub fn revive_node(&mut self, node: NodeId) -> Result<(), HdfsError> {
+        let idx = node.index();
+        if idx >= self.alive.len() {
+            return Err(HdfsError::UnknownNode(node.0));
+        }
+        if !self.alive[idx] {
+            self.alive[idx] = true;
+            // Drop replica records pointing at the node: its disk is gone.
+            self.used_bytes[idx] = 0;
+            for meta in self.files.values_mut() {
+                for block in &mut meta.blocks {
+                    block.replicas.retain(|n| *n != node);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True if the DataNode is alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        node.index() < self.alive.len() && self.alive[node.index()]
+    }
+
+    /// Restores the replication factor for every under-replicated block.
+    /// Returns `(src, dst, bytes)` copy tasks, merged per (src, dst) pair,
+    /// and updates the metadata as if the copies had completed. The caller
+    /// is expected to execute the corresponding flows on the engine.
+    pub fn re_replicate(&mut self) -> Result<Vec<(NodeId, NodeId, u64)>, HdfsError> {
+        let alive = self.alive_nodes();
+        let mut copies: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut added: Vec<(String, usize, NodeId, u64)> = Vec::new();
+        for (path, meta) in &self.files {
+            for (bi, block) in meta.blocks.iter().enumerate() {
+                let alive_replicas: Vec<NodeId> = block
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|n| self.alive[n.index()])
+                    .collect();
+                if alive_replicas.is_empty() {
+                    return Err(HdfsError::DataLost(path.clone()));
+                }
+                let deficit =
+                    (self.config.replication as usize).saturating_sub(alive_replicas.len());
+                if deficit == 0 {
+                    continue;
+                }
+                let mut candidates: Vec<NodeId> = alive
+                    .iter()
+                    .copied()
+                    .filter(|n| !alive_replicas.contains(n))
+                    .collect();
+                candidates.shuffle(&mut self.rng);
+                for target in candidates.into_iter().take(deficit) {
+                    let src = alive_replicas[self.rng.gen_range(0..alive_replicas.len())];
+                    *copies.entry((src.0, target.0)).or_default() += block.size;
+                    added.push((path.clone(), bi, target, block.size));
+                }
+            }
+        }
+        for (path, bi, target, size) in added {
+            let meta = self.files.get_mut(&path).expect("exists");
+            meta.blocks[bi].replicas.push(target);
+            self.used_bytes[target.index()] += size;
+        }
+        // Purge dead replicas from metadata now that copies are scheduled.
+        let alive_flags = self.alive.clone();
+        for meta in self.files.values_mut() {
+            for block in &mut meta.blocks {
+                block.replicas.retain(|n| alive_flags[n.index()]);
+            }
+        }
+        Ok(copies
+            .into_iter()
+            .map(|((s, d), b)| (NodeId(s), NodeId(d), b))
+            .collect())
+    }
+
+    /// Paths currently in the namespace (sorted).
+    pub fn list(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs(n: usize) -> Hdfs {
+        Hdfs::new(n, HdfsConfig::default(), 42)
+    }
+
+    #[test]
+    fn create_places_first_replica_on_writer() {
+        let mut h = fs(5);
+        let plan = h.create("/a", 10 << 20, NodeId(2)).unwrap();
+        assert_eq!(plan.local_bytes, 10 << 20);
+        assert_eq!(plan.remote.len(), 2, "two pipeline copies");
+        let st = h.status("/a").unwrap();
+        assert_eq!(st.blocks.len(), 1);
+        assert_eq!(st.blocks[0].replicas[0], NodeId(2));
+        assert_eq!(st.blocks[0].replicas.len(), 3);
+    }
+
+    #[test]
+    fn create_splits_into_blocks() {
+        let mut h = Hdfs::new(
+            4,
+            HdfsConfig {
+                block_size: 4,
+                replication: 2,
+            },
+            1,
+        );
+        let _ = h.create("/b", 10, NodeId(0)).unwrap();
+        let st = h.status("/b").unwrap();
+        assert_eq!(st.blocks.len(), 3);
+        assert_eq!(st.blocks.iter().map(|b| b.size).collect::<Vec<_>>(), vec![4, 4, 2]);
+        // Block replica sets differ (placement diversity): with 4 nodes and
+        // a seeded RNG, at least the union spans more than 2 nodes.
+        let mut nodes: Vec<u32> = st
+            .blocks
+            .iter()
+            .flat_map(|b| b.replicas.iter().map(|n| n.0))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert!(nodes.len() > 2, "placement should spread: {nodes:?}");
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut h = fs(3);
+        h.create("/a", 1, NodeId(0)).unwrap();
+        assert!(matches!(
+            h.create("/a", 1, NodeId(0)),
+            Err(HdfsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn read_prefers_local_replica() {
+        let mut h = fs(5);
+        h.create("/a", 100 << 20, NodeId(1)).unwrap();
+        let plan = h.read_plan("/a", NodeId(1)).unwrap();
+        assert_eq!(plan.local_bytes(), 100 << 20);
+        assert_eq!(plan.remote_bytes(), 0);
+    }
+
+    #[test]
+    fn read_from_non_replica_is_fully_remote() {
+        let mut h = Hdfs::new(
+            8,
+            HdfsConfig {
+                block_size: 64 << 20,
+                replication: 2,
+            },
+            7,
+        );
+        h.create("/a", 128 << 20, NodeId(0)).unwrap();
+        // Find a node with no replica.
+        let st = h.status("/a").unwrap();
+        let holding: Vec<NodeId> = st.blocks.iter().flat_map(|b| b.replicas.clone()).collect();
+        let outsider = (0..8).map(NodeId).find(|n| !holding.contains(n)).unwrap();
+        let plan = h.read_plan("/a", outsider).unwrap();
+        assert_eq!(plan.local_bytes(), 0);
+        assert_eq!(plan.remote_bytes(), 128 << 20);
+    }
+
+    #[test]
+    fn locality_fraction_reflects_replicas() {
+        let mut h = fs(6);
+        h.create("/a", 64 << 20, NodeId(3)).unwrap();
+        let paths = vec!["/a".to_string()];
+        assert_eq!(h.locality_fraction(&paths, NodeId(3)), 1.0);
+        let st = h.status("/a").unwrap();
+        let outsider = (0..6)
+            .map(NodeId)
+            .find(|n| !st.blocks[0].replicas.contains(n))
+            .unwrap();
+        assert_eq!(h.locality_fraction(&paths, outsider), 0.0);
+        // Unknown paths are ignored.
+        assert_eq!(h.locality_fraction(&["/nope".to_string()], NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let mut h = fs(3);
+        h.create("/a", 10, NodeId(0)).unwrap();
+        assert!(h.used_on(NodeId(0)) > 0);
+        h.delete("/a").unwrap();
+        assert_eq!(h.used_on(NodeId(0)), 0);
+        assert!(!h.exists("/a"));
+        assert!(h.delete("/a").is_err());
+    }
+
+    #[test]
+    fn data_survives_single_node_failure() {
+        let mut h = fs(5);
+        h.create("/a", 200 << 20, NodeId(0)).unwrap();
+        h.fail_node(NodeId(0)).unwrap();
+        let plan = h.read_plan("/a", NodeId(0)).unwrap();
+        // The failed node's replica is unusable: all bytes come remotely.
+        assert_eq!(plan.local_bytes(), 0);
+        assert_eq!(plan.remote_bytes(), 200 << 20);
+    }
+
+    #[test]
+    fn re_replication_restores_factor() {
+        let mut h = fs(6);
+        h.create("/a", 128 << 20, NodeId(0)).unwrap();
+        h.fail_node(NodeId(0)).unwrap();
+        let copies = h.re_replicate().unwrap();
+        assert!(!copies.is_empty());
+        let st = h.status("/a").unwrap();
+        for b in &st.blocks {
+            assert_eq!(b.replicas.len(), 3);
+            assert!(!b.replicas.contains(&NodeId(0)));
+        }
+        // Total copied bytes equal the lost replica bytes.
+        let copied: u64 = copies.iter().map(|(_, _, b)| *b).sum();
+        assert_eq!(copied, 128 << 20);
+    }
+
+    #[test]
+    fn replication_capped_by_cluster_size() {
+        let mut h = fs(2);
+        h.create("/a", 1, NodeId(0)).unwrap();
+        let st = h.status("/a").unwrap();
+        assert_eq!(st.blocks[0].replicas.len(), 2);
+    }
+
+    #[test]
+    fn data_lost_when_all_replicas_dead() {
+        let mut h = Hdfs::new(
+            2,
+            HdfsConfig {
+                block_size: 64,
+                replication: 2,
+            },
+            3,
+        );
+        h.create("/a", 10, NodeId(0)).unwrap();
+        h.fail_node(NodeId(0)).unwrap();
+        h.fail_node(NodeId(1)).unwrap();
+        assert!(matches!(
+            h.read_plan("/a", NodeId(0)),
+            Err(HdfsError::DataLost(_))
+        ));
+    }
+
+    #[test]
+    fn revive_forgets_old_replicas() {
+        let mut h = fs(3);
+        h.create("/a", 10, NodeId(0)).unwrap();
+        h.fail_node(NodeId(0)).unwrap();
+        h.revive_node(NodeId(0)).unwrap();
+        let st = h.status("/a").unwrap();
+        assert!(!st.blocks[0].replicas.contains(&NodeId(0)));
+        assert!(h.is_alive(NodeId(0)));
+        assert_eq!(h.used_on(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn zero_byte_file_is_representable() {
+        let mut h = fs(3);
+        h.create("/empty", 0, NodeId(1)).unwrap();
+        assert_eq!(h.len("/empty").unwrap(), 0);
+        let plan = h.read_plan("/empty", NodeId(2)).unwrap();
+        assert_eq!(plan.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Abstract syntax of the Cuneiform-style DSL.
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Num(f64),
+    Str(String),
+    Var(String),
+    List(Vec<Expr>),
+    /// Application of a builtin, a `deftask`, or a `defun`.
+    Call { name: String, args: Vec<Expr> },
+    If {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        otherwise: Box<Expr>,
+    },
+    /// `let x = e; body` inside an expression (function bodies).
+    LetIn {
+        name: String,
+        value: Box<Expr>,
+        body: Box<Expr>,
+    },
+}
+
+/// One declared output of a task: a path template and a size expression.
+/// Templates substitute `{0}`, `{1}`, … with the rendering of the
+/// corresponding argument, which keeps paths unique across instances.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutputDecl {
+    pub template: String,
+    pub size: Expr,
+}
+
+/// A task parameter. An *aggregate* parameter (written `[name]`) consumes
+/// a whole list as one value instead of triggering element-wise mapping —
+/// Cuneiform's aggregate/reduce semantics (e.g. a variant caller that
+/// reads all of a sample's sorted alignments at once).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub aggregate: bool,
+}
+
+/// A black-box task definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskDef {
+    pub name: String,
+    pub outputs: Vec<OutputDecl>,
+    pub params: Vec<Param>,
+    /// CPU work in reference CPU-seconds; may reference `insize(param)`.
+    pub cpu: Expr,
+    pub threads: u32,
+    pub memory_mb: u64,
+    /// Working-directory bytes written and re-read during execution; may
+    /// reference `insize(param)`.
+    pub scratch: Option<Expr>,
+    /// Exit-value expression, evaluated by the *simulated tool* when the
+    /// task completes, readable in the workflow via `val(...)`. Stands in
+    /// for the tool writing a value the workflow branches on.
+    pub yields: Option<Expr>,
+}
+
+/// A user function (possibly recursive).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunDef {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Expr,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    Deftask(TaskDef),
+    Defun(FunDef),
+    Let { name: String, value: Expr },
+    /// The workflow's result expression. At most one; defaults to the last
+    /// `let` binding when omitted.
+    Target(Expr),
+}
+
+/// A parsed program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// The effective target expression (explicit `target` or the last
+    /// `let` binding's variable).
+    pub fn target(&self) -> Option<Expr> {
+        let explicit = self.items.iter().rev().find_map(|i| match i {
+            Item::Target(e) => Some(e.clone()),
+            _ => None,
+        });
+        explicit.or_else(|| {
+            self.items.iter().rev().find_map(|i| match i {
+                Item::Let { name, .. } => Some(Expr::Var(name.clone())),
+                _ => None,
+            })
+        })
+    }
+}

@@ -1,0 +1,207 @@
+//! Tokenizer for the Cuneiform-style DSL.
+
+use crate::ir::LangError;
+
+/// A token with its source line (for error messages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Semi,
+    Equals,
+    Eof,
+}
+
+/// Keywords are ordinary identifiers; the parser distinguishes them. This
+/// keeps the lexer trivial and lets task/function names shadow nothing.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let err = |line: usize, msg: String| LangError::new("cuneiform", format!("line {line}: {msg}"));
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'%' => {
+                // Comment to end of line (Cuneiform style).
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            b'[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, line });
+                i += 1;
+            }
+            b']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, line });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            b':' => {
+                tokens.push(Token { kind: TokenKind::Colon, line });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token { kind: TokenKind::Semi, line });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Equals, line });
+                i += 1;
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(err(line, "unterminated string".into()));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            let esc = bytes[i + 1];
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                other => other as char,
+                            });
+                            i += 2;
+                        }
+                        b'\n' => return Err(err(line, "newline in string".into())),
+                        other => {
+                            s.push(other as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line });
+            }
+            c if c.is_ascii_digit() || (c == b'-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes[i - 1], b'e' | b'E')))
+                {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).expect("ascii");
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| err(line, format!("invalid number '{text}'")))?;
+                tokens.push(Token { kind: TokenKind::Num(n), line });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).expect("ascii").to_string();
+                tokens.push(Token { kind: TokenKind::Ident(text), line });
+            }
+            other => {
+                return Err(err(line, format!("unexpected character '{}'", other as char)));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds(r#"let x = f("a", 1.5);"#),
+            vec![
+                TokenKind::Ident("let".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Equals,
+                TokenKind::Ident("f".into()),
+                TokenKind::LParen,
+                TokenKind::Str("a".into()),
+                TokenKind::Comma,
+                TokenKind::Num(1.5),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = tokenize("a % comment\nb").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        assert_eq!(kinds("-3")[0], TokenKind::Num(-3.0));
+        assert_eq!(kinds("2e-3")[0], TokenKind::Num(0.002));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a\"b\n""#)[0], TokenKind::Str("a\"b\n".into()));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_symbol() {
+        assert!(tokenize("let x = @;").is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Pegasus DAX front-end (paper §3.2).
+//!
+//! DAX is Pegasus' XML workflow description: a *static* format in which
+//! "every task to be invoked and every file to be processed or produced"
+//! is spelled out explicitly. Dependencies are derivable from `<uses>`
+//! file links; DAX additionally allows explicit `<child>`/`<parent>`
+//! control edges, which this parser honours by injecting zero-byte
+//! control files when no data dependency already covers the edge.
+//!
+//! Because real tools' resource needs are not part of standard DAX, this
+//! reproduction reads them from `runtime` (reference CPU-seconds),
+//! `threads`, and `memory` (MB) attributes on `<job>` — the same
+//! information Pegasus carries in profile elements — and file sizes from
+//! the `size` attribute of `<uses>` (also present in Pegasus' generator
+//! output).
+//!
+//! ```xml
+//! <adag name="montage">
+//!   <job id="ID1" name="mProjectPP" runtime="90" threads="1" memory="1024">
+//!     <uses file="in/raw_1.fits" link="input" size="4200000"/>
+//!     <uses file="work/proj_1.fits" link="output" size="4400000"/>
+//!   </job>
+//!   <child ref="ID2"><parent ref="ID1"/></child>
+//! </adag>
+//! ```
+
+use std::collections::HashMap;
+
+use hiway_format::xml::{local_name, XmlElement};
+
+use crate::ir::{LangError, OutputSpec, StaticWorkflow, TaskCost, TaskId, TaskSpec};
+
+/// Parses a DAX document into a static workflow.
+pub fn parse_dax(src: &str) -> Result<StaticWorkflow, LangError> {
+    let root = XmlElement::parse(src)
+        .map_err(|e| LangError::new("dax", format!("malformed XML: {e}")))?;
+    if local_name(&root.name) != "adag" {
+        return Err(LangError::new(
+            "dax",
+            format!("expected <adag> root, found <{}>", root.name),
+        ));
+    }
+    let wf_name = root.attr("name").unwrap_or("dax-workflow").to_string();
+
+    let mut tasks = Vec::new();
+    let mut id_by_label: HashMap<String, usize> = HashMap::new();
+
+    for (seq, job) in root.children_named("job").enumerate() {
+        let label = job
+            .require_attr("id")
+            .map_err(|e| LangError::new("dax", e.message))?
+            .to_string();
+        let tool = job
+            .require_attr("name")
+            .map_err(|e| LangError::new("dax", e.message))?
+            .to_string();
+        let runtime: f64 = parse_attr(job, "runtime", 1.0)?;
+        let threads: u32 = parse_attr(job, "threads", 1.0)? as u32;
+        let memory: u64 = parse_attr(job, "memory", 512.0)? as u64;
+        let scratch: u64 = parse_attr(job, "scratch", 0.0)? as u64;
+
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        for uses in job.children_named("uses") {
+            let file = uses
+                .require_attr("file")
+                .map_err(|e| LangError::new("dax", e.message))?
+                .to_string();
+            let size: u64 = parse_attr(uses, "size", 0.0)? as u64;
+            match uses.attr("link") {
+                Some("input") => inputs.push(file),
+                Some("output") => outputs.push(OutputSpec { path: file, size }),
+                other => {
+                    return Err(LangError::new(
+                        "dax",
+                        format!("<uses file=\"{file}\"> has invalid link {other:?}"),
+                    ))
+                }
+            }
+        }
+
+        let argument = job
+            .child_named("argument")
+            .map(|a| a.text.clone())
+            .unwrap_or_default();
+
+        if id_by_label.insert(label.clone(), seq).is_some() {
+            return Err(LangError::new("dax", format!("duplicate job id '{label}'")));
+        }
+        tasks.push(TaskSpec {
+            id: TaskId(seq as u64),
+            name: tool.clone(),
+            command: format!("{tool} {argument}").trim().to_string(),
+            inputs,
+            outputs,
+            cost: TaskCost::new(runtime, threads.max(1), memory).with_scratch(scratch),
+        });
+    }
+
+    // Explicit control edges: <child ref="X"><parent ref="Y"/>...</child>.
+    for child in root.children_named("child") {
+        let child_label = child
+            .require_attr("ref")
+            .map_err(|e| LangError::new("dax", e.message))?;
+        let &child_idx = id_by_label
+            .get(child_label)
+            .ok_or_else(|| LangError::new("dax", format!("<child ref=\"{child_label}\"> unknown")))?;
+        for parent in child.children_named("parent") {
+            let parent_label = parent
+                .require_attr("ref")
+                .map_err(|e| LangError::new("dax", e.message))?;
+            let &parent_idx = id_by_label.get(parent_label).ok_or_else(|| {
+                LangError::new("dax", format!("<parent ref=\"{parent_label}\"> unknown"))
+            })?;
+            if parent_idx == child_idx {
+                return Err(LangError::new(
+                    "dax",
+                    format!("job '{child_label}' cannot depend on itself"),
+                ));
+            }
+            // Skip when a data dependency already orders the pair.
+            let covered = tasks[parent_idx]
+                .outputs
+                .iter()
+                .any(|o| tasks[child_idx].inputs.contains(&o.path));
+            if !covered {
+                let ctl = format!("/.ctl/{parent_label}__{child_label}");
+                tasks[parent_idx].outputs.push(OutputSpec { path: ctl.clone(), size: 0 });
+                tasks[child_idx].inputs.push(ctl);
+            }
+        }
+    }
+
+    let wf = StaticWorkflow::new(wf_name, "dax", tasks);
+    wf.validate()?;
+    Ok(wf)
+}
+
+fn parse_attr(el: &XmlElement, name: &str, default: f64) -> Result<f64, LangError> {
+    match el.attr(name) {
+        None => Ok(default),
+        Some(text) => text.parse::<f64>().map_err(|_| {
+            LangError::new(
+                "dax",
+                format!("attribute {name}=\"{text}\" on <{}> is not a number", el.name),
+            )
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::WorkflowSource;
+
+    const SMALL_DAX: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+        <adag name="diamond">
+          <job id="A" name="preprocess" runtime="10" threads="2" memory="1000">
+            <argument>-i raw.dat</argument>
+            <uses file="raw.dat" link="input" size="1000"/>
+            <uses file="a.dat" link="output" size="500"/>
+          </job>
+          <job id="B" name="analyze" runtime="20">
+            <uses file="a.dat" link="input" size="500"/>
+            <uses file="b.dat" link="output" size="200"/>
+          </job>
+          <job id="C" name="analyze">
+            <uses file="a.dat" link="input" size="500"/>
+            <uses file="c.dat" link="output" size="200"/>
+          </job>
+          <job id="D" name="combine">
+            <uses file="b.dat" link="input" size="200"/>
+            <uses file="c.dat" link="input" size="200"/>
+            <uses file="d.dat" link="output" size="100"/>
+          </job>
+          <child ref="D"><parent ref="B"/><parent ref="C"/></child>
+        </adag>"#;
+
+    #[test]
+    fn parses_diamond() {
+        let wf = parse_dax(SMALL_DAX).unwrap();
+        assert_eq!(wf.name, "diamond");
+        assert_eq!(wf.tasks.len(), 4);
+        assert_eq!(wf.tasks[0].name, "preprocess");
+        assert_eq!(wf.tasks[0].command, "preprocess -i raw.dat");
+        assert_eq!(wf.tasks[0].cost.threads, 2);
+        assert_eq!(wf.tasks[0].cost.cpu_seconds, 10.0);
+        assert_eq!(wf.tasks[1].cost.cpu_seconds, 20.0);
+        assert_eq!(wf.external_inputs(), vec!["raw.dat".to_string()]);
+    }
+
+    #[test]
+    fn redundant_control_edges_not_duplicated() {
+        let wf = parse_dax(SMALL_DAX).unwrap();
+        // B→D and C→D are already covered by files b.dat/c.dat: no /.ctl.
+        for t in &wf.tasks {
+            assert!(t.outputs.iter().all(|o| !o.path.starts_with("/.ctl/")));
+        }
+    }
+
+    #[test]
+    fn pure_control_edge_injects_control_file() {
+        let dax = r#"<adag name="x">
+            <job id="A" name="first"><uses file="a" link="output" size="1"/></job>
+            <job id="B" name="second"><uses file="b" link="output" size="1"/></job>
+            <child ref="B"><parent ref="A"/></child>
+        </adag>"#;
+        let wf = parse_dax(dax).unwrap();
+        assert!(wf.tasks[0].outputs.iter().any(|o| o.path == "/.ctl/A__B"));
+        assert!(wf.tasks[1].inputs.contains(&"/.ctl/A__B".to_string()));
+    }
+
+    #[test]
+    fn is_a_static_workflow_source() {
+        let mut wf = parse_dax(SMALL_DAX).unwrap();
+        assert!(wf.is_static());
+        assert_eq!(wf.language(), "dax");
+        let tasks = wf.initial_tasks().unwrap();
+        assert_eq!(tasks.len(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(parse_dax("<dag/>").is_err());
+        assert!(parse_dax("<adag><job name=\"x\"/></adag>").is_err(), "missing id");
+        assert!(parse_dax("<adag><job id=\"a\" name=\"x\" runtime=\"soon\"/></adag>").is_err());
+        assert!(parse_dax(
+            r#"<adag><job id="a" name="x"><uses file="f" link="sideways"/></job></adag>"#
+        )
+        .is_err());
+        assert!(parse_dax(r#"<adag><child ref="nope"/></adag>"#).is_err());
+        // Duplicate job ids.
+        assert!(parse_dax(
+            r#"<adag><job id="a" name="x"/><job id="a" name="y"/></adag>"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_cyclic_dax() {
+        let dax = r#"<adag name="cycle">
+            <job id="A" name="a"><uses file="x" link="input"/><uses file="y" link="output" size="1"/></job>
+            <job id="B" name="b"><uses file="y" link="input"/><uses file="x" link="output" size="1"/></job>
+        </adag>"#;
+        assert!(parse_dax(dax).is_err());
+    }
+}

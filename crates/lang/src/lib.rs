@@ -1,0 +1,33 @@
+//! # hiway-lang — workflow languages and the black-box task IR
+//!
+//! Hi-WAY "sunders the tight coupling of scientific workflow languages and
+//! execution engines" (paper §3.2): it has no language of its own but an
+//! extensible front-end interface. This crate provides the common
+//! intermediate representation — black-box tasks exchanging opaque files —
+//! and the four front-ends the paper ships:
+//!
+//! * [`cuneiform`] — a Cuneiform-style functional workflow DSL with task
+//!   definitions, lists with element-wise task application, user-defined
+//!   functions, recursion, and data-dependent conditionals. This is the
+//!   *iterative* language: new tasks are discovered while the workflow
+//!   runs (paper §3.3 and the k-means example).
+//! * [`dax`] — Pegasus' static XML workflow format (every task and file
+//!   spelled out; supports static schedulers such as HEFT).
+//! * [`galaxy`] — workflows exported from the Galaxy SWfMS as JSON, with
+//!   input ports resolved at submission time.
+//! * [`trace`] — Hi-WAY provenance traces, re-executable as workflows
+//!   (paper §3.5: the trace file *is* a fourth workflow language).
+//!
+//! Every front-end implements [`ir::WorkflowSource`], the interface the
+//! Workflow Driver in `hiway-core` consumes. Adding a language means
+//! implementing that trait — exactly the extension point §3.2 describes.
+
+pub mod cuneiform;
+pub mod dax;
+pub mod galaxy;
+pub mod ir;
+pub mod trace;
+
+pub use ir::{
+    LangError, OutputSpec, StaticWorkflow, TaskCost, TaskId, TaskSpec, WorkflowSource,
+};

@@ -1,0 +1,166 @@
+//! Property tests across the language front-ends.
+
+use proptest::prelude::*;
+
+use hiway_lang::cuneiform::CuneiformWorkflow;
+use hiway_lang::dax::parse_dax;
+use hiway_lang::ir::WorkflowSource;
+use hiway_lang::trace::{parse_trace, parse_trace_events, write_trace, TaskEvent, TraceEvent};
+
+/// Generates a random fan-out/fan-in Cuneiform program.
+fn cuneiform_program(stages: &[usize], file_kb: u64) -> String {
+    let mut src = String::new();
+    src.push_str(
+        "deftask work( out(\"/w/{0}_{1}.dat\", insize(x)) : x stage )\n  cpu 1 threads 1 mem 64;\n",
+    );
+    src.push_str("deftask fold( out(\"/w/fold_{1}.dat\", insize(xs)) : [xs] stage ) cpu 1;\n");
+    src.push_str(&format!(
+        "let inputs = [{}];\n",
+        (0..stages[0])
+            .map(|i| format!("file(\"/in/{i}\", {})", file_kb * 1024))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    let mut prev = "inputs".to_string();
+    for (si, &width) in stages.iter().enumerate() {
+        if width == stages[0] && si == 0 {
+            src.push_str(&format!("let s0 = work({prev}, \"s0\");\n"));
+            prev = "s0".to_string();
+        } else {
+            // Fold to one, then no further fan-out (keeps paths unique).
+            src.push_str(&format!("let s{si} = fold({prev}, \"s{si}\");\n"));
+            prev = format!("s{si}");
+        }
+    }
+    src.push_str(&format!("target {prev};\n"));
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated Cuneiform pipelines parse, unfold deterministically, and
+    /// produce valid static task graphs.
+    #[test]
+    fn cuneiform_unfolding_is_deterministic_and_valid(
+        width in 1usize..8,
+        depth in 1usize..4,
+        file_kb in 1u64..512,
+        seed in 0u64..100,
+    ) {
+        let stages: Vec<usize> = std::iter::once(width).chain((1..depth).map(|_| 1)).collect();
+        let src = cuneiform_program(&stages, file_kb);
+        let mut a = CuneiformWorkflow::parse("p", &src, seed).expect("parse");
+        let mut b = CuneiformWorkflow::parse("p", &src, seed).expect("parse");
+        let ta = a.initial_tasks().expect("unfold");
+        let tb = b.initial_tasks().expect("unfold");
+        prop_assert_eq!(&ta, &tb, "same seed, same tasks");
+        prop_assert!(a.is_complete(), "no val/if: fully static");
+        // The unfolded graph is a valid DAG.
+        let wf = hiway_lang::ir::StaticWorkflow::new("p", "cuneiform", ta.clone());
+        wf.validate().expect("valid DAG");
+        // Task count: width work tasks + (depth-1) folds.
+        prop_assert_eq!(ta.len(), width + depth.saturating_sub(1));
+    }
+
+    /// DAX documents generated from random diamond-ish shapes round-trip
+    /// through the parser with the right task count.
+    #[test]
+    fn dax_random_fanout_parses(width in 1usize..12, runtime in 1.0f64..100.0) {
+        let mut jobs = String::new();
+        for i in 0..width {
+            jobs.push_str(&format!(
+                r#"<job id="m{i}" name="mapper" runtime="{runtime}">
+                     <uses file="in.dat" link="input" size="100"/>
+                     <uses file="m{i}.out" link="output" size="10"/>
+                   </job>"#
+            ));
+        }
+        let uses: String = (0..width)
+            .map(|i| format!(r#"<uses file="m{i}.out" link="input" size="10"/>"#))
+            .collect();
+        jobs.push_str(&format!(
+            r#"<job id="r" name="reducer" runtime="{runtime}">{uses}
+                 <uses file="final.out" link="output" size="1"/>
+               </job>"#
+        ));
+        let doc = format!(r#"<adag name="gen">{jobs}</adag>"#);
+        let wf = parse_dax(&doc).expect("valid DAX");
+        prop_assert_eq!(wf.tasks.len(), width + 1);
+        prop_assert_eq!(wf.external_inputs(), vec!["in.dat".to_string()]);
+        for t in &wf.tasks {
+            prop_assert!((t.cost.cpu_seconds - runtime).abs() < 1e-9);
+        }
+    }
+
+    /// Trace events survive serialization for arbitrary metadata strings.
+    #[test]
+    fn trace_round_trip_any_strings(
+        name in "[\\PC&&[^\"\\\\]]{0,24}",
+        node in "[a-z0-9-]{1,16}",
+        stdout in "\\PC{0,48}",
+        t_start in 0.0f64..1.0e6,
+        makespan in 0.0f64..1.0e4,
+    ) {
+        let event = TraceEvent::Task(TaskEvent {
+            id: 7,
+            name: name.clone(),
+            command: format!("{name} --arg"),
+            inputs: vec![("/in".into(), 42)],
+            outputs: vec![("/out".into(), 7)],
+            cpu_seconds: makespan,
+            threads: 3,
+            memory_mb: 123,
+            node,
+            t_start,
+            t_end: t_start + makespan,
+            attempts: 2,
+            stdout,
+            stderr: String::new(),
+        });
+        let text = write_trace(std::slice::from_ref(&event));
+        let parsed = parse_trace_events(&text).expect("round trip");
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0], &event);
+    }
+}
+
+/// A trace of a linear chain replays into an identical chain.
+#[test]
+fn chained_trace_replays_with_same_dependencies() {
+    let mut events = Vec::new();
+    for i in 0..5u64 {
+        events.push(TraceEvent::Task(TaskEvent {
+            id: i,
+            name: format!("stage{i}"),
+            command: format!("tool{i}"),
+            inputs: vec![(if i == 0 { "/input".into() } else { format!("/mid{}", i - 1) }, 10)],
+            outputs: vec![(format!("/mid{i}"), 10)],
+            cpu_seconds: 1.0,
+            threads: 1,
+            memory_mb: 10,
+            node: "w0".into(),
+            t_start: i as f64,
+            t_end: i as f64 + 1.0,
+            attempts: 1,
+            stdout: String::new(),
+            stderr: String::new(),
+        }));
+    }
+    let wf = parse_trace(&write_trace(&events)).unwrap();
+    assert_eq!(wf.tasks.len(), 5);
+    assert_eq!(wf.external_inputs(), vec!["/input".to_string()]);
+    wf.validate().unwrap();
+}
+
+/// Unguarded infinite recursion is an error, not a stack overflow.
+#[test]
+fn unbounded_recursion_is_rejected() {
+    let src = r#"
+        defun spin(x) = spin(x);
+        target spin(1);
+    "#;
+    let mut wf = CuneiformWorkflow::parse("loop", src, 0).unwrap();
+    let err = wf.initial_tasks().unwrap_err();
+    assert!(err.message.contains("recursion"), "{}", err.message);
+}

@@ -1,0 +1,25 @@
+//! # hiway-provdb — an embedded document store for provenance data
+//!
+//! Hi-WAY's Provenance Manager stores JSON trace events either as files in
+//! HDFS or — "to cope with such high volumes of data" on heavily used
+//! installations — in a MySQL or Couchbase database, which "brings the
+//! added benefit of facilitating manual queries and aggregation" (paper
+//! §3.5). Neither database is in this reproduction's dependency budget, so
+//! this crate provides the moral equivalent: an embedded, thread-safe,
+//! schemaless document store with
+//!
+//! * named collections of JSON documents,
+//! * hash indexes over scalar fields (built eagerly, maintained on insert),
+//! * a small filter/projection query API, and
+//! * grouped aggregation (count / sum / avg / min / max),
+//! * JSON-lines export/import for durability.
+//!
+//! The Workflow Scheduler's statistics lookups (latest observed runtime of
+//! a task signature on a machine, file sizes, transfer times — §3.4) are
+//! expressed as queries against this store in `hiway-core`.
+
+pub mod query;
+pub mod store;
+
+pub use query::{Aggregate, Filter, Op};
+pub use store::{Collection, DocId, ProvDb};

@@ -1,0 +1,328 @@
+//! Collections, documents, and hash indexes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use hiway_format::json::Json;
+
+use crate::query::{Filter, Query};
+
+/// Identifier of a document within its collection (dense, insertion order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DocId(pub u64);
+
+/// Canonical index key for a scalar JSON value. Non-scalars are not
+/// indexable (documents lacking the field, or holding arrays/objects,
+/// simply don't appear in the index).
+fn index_key(value: &Json) -> Option<String> {
+    match value {
+        Json::Null => Some("null".to_string()),
+        Json::Bool(b) => Some(format!("b:{b}")),
+        Json::Number(n) => Some(format!("n:{n}")),
+        Json::String(s) => Some(format!("s:{s}")),
+        Json::Array(_) | Json::Object(_) => None,
+    }
+}
+
+#[derive(Default)]
+struct CollectionInner {
+    docs: Vec<Json>,
+    /// field → (key → doc ids)
+    indexes: HashMap<String, HashMap<String, Vec<DocId>>>,
+}
+
+/// A named collection of JSON documents. Cheap to clone (shared handle).
+#[derive(Clone, Default)]
+pub struct Collection {
+    inner: Arc<RwLock<CollectionInner>>,
+}
+
+impl Collection {
+    /// Inserts a document, maintaining any existing indexes.
+    pub fn insert(&self, doc: Json) -> DocId {
+        let mut inner = self.inner.write();
+        let id = DocId(inner.docs.len() as u64);
+        let fields: Vec<String> = inner.indexes.keys().cloned().collect();
+        for field in fields {
+            if let Some(key) = doc.get(&field).and_then(index_key) {
+                inner
+                    .indexes
+                    .get_mut(&field)
+                    .expect("listed above")
+                    .entry(key)
+                    .or_default()
+                    .push(id);
+            }
+        }
+        inner.docs.push(doc);
+        id
+    }
+
+    /// Builds (or rebuilds) a hash index over `field`.
+    pub fn create_index(&self, field: &str) {
+        let mut inner = self.inner.write();
+        let mut index: HashMap<String, Vec<DocId>> = HashMap::new();
+        for (i, doc) in inner.docs.iter().enumerate() {
+            if let Some(key) = doc.get(field).and_then(index_key) {
+                index.entry(key).or_default().push(DocId(i as u64));
+            }
+        }
+        inner.indexes.insert(field.to_string(), index);
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn get(&self, id: DocId) -> Option<Json> {
+        self.inner.read().docs.get(id.0 as usize).cloned()
+    }
+
+    /// Exact-match lookup, served from the index when one exists.
+    pub fn find_eq(&self, field: &str, value: &Json) -> Vec<Json> {
+        let inner = self.inner.read();
+        if let (Some(index), Some(key)) = (inner.indexes.get(field), index_key(value)) {
+            return index
+                .get(&key)
+                .map(|ids| {
+                    ids.iter()
+                        .map(|id| inner.docs[id.0 as usize].clone())
+                        .collect()
+                })
+                .unwrap_or_default();
+        }
+        inner
+            .docs
+            .iter()
+            .filter(|d| d.get(field) == Some(value))
+            .cloned()
+            .collect()
+    }
+
+    /// Starts a filtered query (scan-based; composes multiple predicates).
+    pub fn query(&self) -> Query {
+        Query::new(self.snapshot())
+    }
+
+    /// A point-in-time copy of all documents.
+    pub fn snapshot(&self) -> Vec<Json> {
+        self.inner.read().docs.clone()
+    }
+
+    /// Serializes to JSON lines.
+    pub fn export_jsonl(&self) -> String {
+        let inner = self.inner.read();
+        let mut out = String::new();
+        for d in &inner.docs {
+            out.push_str(&d.to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Appends documents from a JSON-lines dump; returns how many loaded.
+    pub fn import_jsonl(&self, text: &str) -> Result<usize, String> {
+        let mut n = 0;
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            let doc = Json::parse(line).map_err(|e| e.to_string())?;
+            self.insert(doc);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Scan with an arbitrary filter (used by [`Query`] internally too).
+    pub fn scan(&self, filter: &Filter) -> Vec<Json> {
+        self.inner
+            .read()
+            .docs
+            .iter()
+            .filter(|d| filter.matches(d))
+            .cloned()
+            .collect()
+    }
+}
+
+/// The database: a set of named collections.
+#[derive(Clone, Default)]
+pub struct ProvDb {
+    collections: Arc<RwLock<HashMap<String, Collection>>>,
+}
+
+impl ProvDb {
+    pub fn new() -> ProvDb {
+        ProvDb::default()
+    }
+
+    /// Gets or creates a collection.
+    pub fn collection(&self, name: &str) -> Collection {
+        let mut map = self.collections.write();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Serializes every collection to a single durable dump: a header
+    /// line `#collection <name>` followed by that collection's JSON
+    /// lines. The moral equivalent of a `mysqldump` of the provenance
+    /// database (§3.5's long-term storage concern).
+    pub fn export_all(&self) -> String {
+        let mut out = String::new();
+        for name in self.collection_names() {
+            out.push_str(&format!("#collection {name}\n"));
+            out.push_str(&self.collection(&name).export_jsonl());
+        }
+        out
+    }
+
+    /// Appends the contents of a dump produced by [`ProvDb::export_all`].
+    /// Returns the number of documents loaded.
+    pub fn import_all(&self, dump: &str) -> Result<usize, String> {
+        let mut current: Option<Collection> = None;
+        let mut loaded = 0;
+        for line in dump.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            if let Some(name) = line.strip_prefix("#collection ") {
+                current = Some(self.collection(name.trim()));
+                continue;
+            }
+            let col = current
+                .as_ref()
+                .ok_or_else(|| "document before any #collection header".to_string())?;
+            col.import_jsonl(line)?;
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(task: &str, node: &str, runtime: f64) -> Json {
+        Json::object()
+            .with("task", task)
+            .with("node", node)
+            .with("runtime", runtime)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let c = Collection::default();
+        let id = c.insert(doc("align", "n0", 12.5));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(id).unwrap().get("task").unwrap().as_str(), Some("align"));
+        assert!(c.get(DocId(99)).is_none());
+    }
+
+    #[test]
+    fn find_eq_without_index_scans() {
+        let c = Collection::default();
+        c.insert(doc("align", "n0", 1.0));
+        c.insert(doc("sort", "n0", 2.0));
+        c.insert(doc("align", "n1", 3.0));
+        let hits = c.find_eq("task", &Json::String("align".into()));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn index_serves_lookups_and_tracks_inserts() {
+        let c = Collection::default();
+        c.insert(doc("align", "n0", 1.0));
+        c.create_index("task");
+        c.insert(doc("align", "n1", 2.0)); // inserted after index creation
+        c.insert(doc("sort", "n0", 3.0));
+        let hits = c.find_eq("task", &Json::String("align".into()));
+        assert_eq!(hits.len(), 2);
+        let miss = c.find_eq("task", &Json::String("nothing".into()));
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn index_distinguishes_types() {
+        let c = Collection::default();
+        c.insert(Json::object().with("v", 1u64));
+        c.insert(Json::object().with("v", "1"));
+        c.create_index("v");
+        assert_eq!(c.find_eq("v", &Json::Number(1.0)).len(), 1);
+        assert_eq!(c.find_eq("v", &Json::String("1".into())).len(), 1);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let c = Collection::default();
+        c.insert(doc("a", "n0", 1.5));
+        c.insert(doc("b", "n1", 2.5));
+        let dump = c.export_jsonl();
+        let c2 = Collection::default();
+        assert_eq!(c2.import_jsonl(&dump).unwrap(), 2);
+        assert_eq!(c2.snapshot(), c.snapshot());
+        assert!(c2.import_jsonl("garbage").is_err());
+    }
+
+    #[test]
+    fn db_collections_are_shared_handles() {
+        let db = ProvDb::new();
+        let a = db.collection("tasks");
+        a.insert(doc("x", "n0", 1.0));
+        let b = db.collection("tasks");
+        assert_eq!(b.len(), 1, "same underlying collection");
+        db.collection("files");
+        assert_eq!(db.collection_names(), vec!["files".to_string(), "tasks".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_safe() {
+        let c = Collection::default();
+        c.create_index("task");
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    c.insert(doc(&format!("t{t}"), &format!("n{i}"), i as f64));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 400);
+        assert_eq!(c.find_eq("task", &Json::String("t2".into())).len(), 100);
+    }
+}
+
+#[cfg(test)]
+mod dump_tests {
+    use super::*;
+    use hiway_format::json::Json;
+
+    #[test]
+    fn export_import_all_round_trips_every_collection() {
+        let db = ProvDb::new();
+        db.collection("tasks").insert(Json::object().with("name", "a").with("t", 1u64));
+        db.collection("tasks").insert(Json::object().with("name", "b").with("t", 2u64));
+        db.collection("files").insert(Json::object().with("path", "/x"));
+        let dump = db.export_all();
+        assert!(dump.contains("#collection files"));
+        assert!(dump.contains("#collection tasks"));
+
+        let restored = ProvDb::new();
+        assert_eq!(restored.import_all(&dump).unwrap(), 3);
+        assert_eq!(restored.collection("tasks").len(), 2);
+        assert_eq!(restored.collection("files").len(), 1);
+        assert_eq!(restored.export_all(), dump, "dump is stable");
+
+        assert!(restored.import_all("{\"stray\": 1}").is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Turning a parsed recipe into a ready-to-run experiment.
+
+use hiway_core::driver::Runtime;
+use hiway_core::HiwayConfig;
+use hiway_lang::cuneiform::CuneiformWorkflow;
+use hiway_lang::ir::WorkflowSource;
+use hiway_sim::NodeSpec;
+use hiway_workloads::kmeans::KmeansParams;
+use hiway_workloads::montage::MontageParams;
+use hiway_workloads::profiles;
+use hiway_workloads::rnaseq::RnaseqParams;
+use hiway_workloads::snv::SnvParams;
+use hiway_yarn::Resource;
+
+use crate::parse::{ClusterKind, ContainerKind, Recipe, RecipeError, WorkflowKind};
+
+/// A cooked recipe: infrastructure up, inputs staged, workflow parsed.
+pub struct CookedExperiment {
+    pub runtime: Runtime,
+    pub config: HiwayConfig,
+    pub source: Box<dyn WorkflowSource>,
+    /// Worker node ids (excludes dedicated masters).
+    pub workers: Vec<hiway_sim::NodeId>,
+}
+
+fn node_spec(name: &str) -> Result<NodeSpec, RecipeError> {
+    match name {
+        "m3.large" => Ok(NodeSpec::m3_large("proto")),
+        "c3.2xlarge" => Ok(NodeSpec::c3_2xlarge("proto")),
+        "xeon" => Ok(NodeSpec::xeon_e5_2620("proto")),
+        other => Err(RecipeError {
+            line: 0,
+            message: format!("unknown node type '{other}'"),
+        }),
+    }
+}
+
+/// Builds everything a recipe describes. Mirrors what Karamel does with
+/// the paper's Chef recipes: provision, install, stage data, register the
+/// workflow — leaving just "run it".
+pub fn cook(recipe: &Recipe) -> Result<CookedExperiment, RecipeError> {
+    let boxed = |e: hiway_lang::LangError| RecipeError { line: 0, message: e.to_string() };
+
+    // 1. Infrastructure.
+    let mut deployment = match &recipe.cluster {
+        ClusterKind::Local { nodes } => profiles::local_cluster(*nodes, recipe.seed),
+        ClusterKind::Ec2 { workers, node } => {
+            profiles::ec2_cluster(*workers, &node_spec(node)?, recipe.seed)
+        }
+    };
+    let node_proto = match &recipe.cluster {
+        ClusterKind::Local { .. } => NodeSpec::xeon_e5_2620("proto"),
+        ClusterKind::Ec2 { node, .. } => node_spec(node)?,
+    };
+
+    // 2. Workflow + input staging.
+    let source: Box<dyn WorkflowSource> = match &recipe.workflow {
+        WorkflowKind::Snv { profile, samples } => {
+            let params = match profile.as_str() {
+                "table2" => SnvParams::table2(*samples),
+                "fig4" => SnvParams::fig4(*samples),
+                other => {
+                    return Err(RecipeError {
+                        line: 0,
+                        message: format!("unknown snv profile '{other}'"),
+                    })
+                }
+            };
+            if params.inputs_are_external() {
+                let s3 = deployment.s3.ok_or_else(|| RecipeError {
+                    line: 0,
+                    message: "snv table2 profile needs an S3-attached (ec2) cluster".to_string(),
+                })?;
+                for (path, size) in params.input_files() {
+                    deployment
+                        .runtime
+                        .cluster
+                        .register_external_file(&path, s3, size);
+                }
+            } else {
+                for (path, size) in params.input_files() {
+                    deployment.runtime.cluster.prestage(&path, size);
+                }
+            }
+            Box::new(
+                CuneiformWorkflow::parse("snv-calling", &params.cuneiform_source(), recipe.seed)
+                    .map_err(boxed)?,
+            )
+        }
+        WorkflowKind::Rnaseq { replicates } => {
+            let params = RnaseqParams {
+                replicates_per_condition: *replicates,
+                ..RnaseqParams::default()
+            };
+            for (path, size) in params.input_files() {
+                deployment.runtime.cluster.prestage(&path, size);
+            }
+            Box::new(
+                hiway_lang::galaxy::parse_galaxy(
+                    &params.galaxy_json(),
+                    &params.input_bindings(),
+                    &params.tool_profiles(),
+                )
+                .map_err(boxed)?,
+            )
+        }
+        WorkflowKind::Montage { images } => {
+            let params = MontageParams { images: *images, ..MontageParams::default() };
+            for (path, size) in params.input_files() {
+                deployment.runtime.cluster.prestage(&path, size);
+            }
+            Box::new(hiway_lang::dax::parse_dax(&params.dax_source()).map_err(boxed)?)
+        }
+        WorkflowKind::Kmeans { partitions } => {
+            let params = KmeansParams { partitions: *partitions, ..KmeansParams::default() };
+            for (path, size) in params.input_files() {
+                deployment.runtime.cluster.prestage(&path, size);
+            }
+            deployment.runtime.cluster.prestage("/kmeans/cents_init.dat", 65_536);
+            Box::new(
+                CuneiformWorkflow::parse("kmeans", &params.cuneiform_source(), recipe.seed)
+                    .map_err(boxed)?,
+            )
+        }
+    };
+
+    for (path, size) in &recipe.extra_stage {
+        deployment.runtime.cluster.prestage(path, *size);
+    }
+
+    // 3. AM configuration.
+    let mut config = match recipe.container {
+        ContainerKind::WholeNode => profiles::whole_node_config(&node_proto),
+        ContainerKind::Fixed { vcores, memory_mb } => HiwayConfig {
+            container_resource: Resource::new(vcores, memory_mb),
+            ..HiwayConfig::default()
+        },
+    };
+    config.scheduler = recipe.scheduler;
+    config.seed = recipe.seed;
+
+    let workers = deployment.worker_ids();
+    Ok(CookedExperiment {
+        runtime: deployment.runtime,
+        config,
+        source,
+        workers,
+    })
+}
+
+/// Parses and cooks in one step.
+pub fn cook_str(text: &str) -> Result<CookedExperiment, RecipeError> {
+    cook(&crate::parse::parse_recipe(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_recipe;
+    use hiway_provdb::ProvDb;
+
+    #[test]
+    fn cook_and_run_a_small_montage() {
+        let recipe = parse_recipe(
+            "cluster ec2 workers=4 node=m3.large seed=5\n\
+             scheduler fcfs\n\
+             container vcores=1 memory=1024\n\
+             workflow montage images=5\n",
+        )
+        .unwrap();
+        let cooked = cook(&recipe).unwrap();
+        assert_eq!(cooked.workers.len(), 4);
+        let mut rt = cooked.runtime;
+        let idx = rt.submit(cooked.source, cooked.config, ProvDb::new());
+        let reports = rt.run_to_completion();
+        assert!(rt.error_of(idx).is_none(), "{:?}", rt.error_of(idx));
+        assert_eq!(reports[idx].tasks.len(), 5 + 4 + 2 + 5 + 4);
+        assert!(rt.cluster.hdfs.exists("out/mosaic.jpg"));
+    }
+
+    #[test]
+    fn cook_and_run_a_tiny_kmeans() {
+        let cooked = cook_str(
+            "cluster local nodes=3 seed=2\n\
+             workflow kmeans partitions=2\n",
+        )
+        .unwrap();
+        let mut rt = cooked.runtime;
+        let idx = rt.submit(cooked.source, cooked.config, ProvDb::new());
+        let reports = rt.run_to_completion();
+        assert!(rt.error_of(idx).is_none(), "{:?}", rt.error_of(idx));
+        assert!(reports[idx].tasks.len() >= 3, "at least one k-means round");
+    }
+
+    #[test]
+    fn snv_table2_registers_external_inputs() {
+        let cooked = cook_str(
+            "cluster ec2 workers=1 node=m3.large seed=7\n\
+             scheduler fcfs\n\
+             container whole-node\n\
+             workflow snv profile=table2 samples=1\n",
+        )
+        .unwrap();
+        assert!(cooked
+            .runtime
+            .cluster
+            .external_file("s3://1000genomes/s0_f0.fq")
+            .is_some());
+        // S3-streamed inputs require an EC2 cluster.
+        let err = match cook_str(
+            "cluster local nodes=2\nworkflow snv profile=table2 samples=1\n",
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("local cluster must not cook an S3-streamed workflow"),
+        };
+        assert!(err.message.contains("S3"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_node_type_rejected() {
+        let err = match cook_str("cluster ec2 workers=1 node=cray\nworkflow montage\n") {
+            Err(e) => e,
+            Ok(_) => panic!("unknown node type must not cook"),
+        };
+        assert!(err.message.contains("cray"));
+    }
+}
+
+#[cfg(test)]
+mod rnaseq_tests {
+    use super::cook_str;
+    use hiway_provdb::ProvDb;
+
+    #[test]
+    fn cook_and_run_rnaseq_recipe() {
+        let cooked = cook_str(
+            "cluster ec2 workers=2 node=c3.2xlarge seed=8\n\
+             scheduler data-aware\n\
+             container whole-node\n\
+             workflow rnaseq replicates=1\n",
+        )
+        .expect("cooks");
+        let mut rt = cooked.runtime;
+        let idx = rt.submit(cooked.source, cooked.config, ProvDb::new());
+        let reports = rt.run_to_completion();
+        assert!(rt.error_of(idx).is_none(), "{:?}", rt.error_of(idx));
+        // 2 lanes × (tophat + cufflinks) + cuffmerge + cuffdiff.
+        assert_eq!(reports[idx].tasks.len(), 6);
+        assert_eq!(reports[idx].language, "galaxy");
+    }
+
+    #[test]
+    fn adaptive_scheduler_recipe_cooks_with_iterative_workflow() {
+        // Unlike heft/round-robin, adaptive is dynamic: legal for k-means.
+        let cooked = cook_str(
+            "cluster local nodes=2 seed=3\n\
+             scheduler adaptive\n\
+             workflow kmeans partitions=2\n",
+        )
+        .expect("adaptive + iterative is allowed");
+        let mut rt = cooked.runtime;
+        let idx = rt.submit(cooked.source, cooked.config, ProvDb::new());
+        rt.run_to_completion();
+        assert!(rt.error_of(idx).is_none(), "{:?}", rt.error_of(idx));
+    }
+}

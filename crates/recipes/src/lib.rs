@@ -1,0 +1,27 @@
+//! # hiway-recipes — reproducible experiment setup (paper §3.6)
+//!
+//! The original system ships Chef recipes, orchestrated by Karamel, that
+//! stand up Hadoop + Hi-WAY and stage "a large variety of execution-ready
+//! workflows… including obtaining their input data, placing it in HDFS,
+//! and installing any software dependencies" — the paper's experiments
+//! are all reproducible "with only a few clicks" from those recipes.
+//!
+//! This crate is the simulated equivalent: a small declarative text format
+//! that describes an infrastructure, a workflow, and its input staging,
+//! plus a `cook` step that turns the description into a ready-to-run
+//! [`hiway_core::driver::Runtime`] with the workflow parsed and every
+//! input either pre-staged in HDFS or registered on an external service.
+//!
+//! ```text
+//! # SNV weak-scaling rung: 8 workers, one sample per worker
+//! cluster ec2 workers=8 node=m3.large seed=42
+//! scheduler fcfs
+//! container whole-node
+//! workflow snv profile=table2 samples=8
+//! ```
+
+pub mod cook;
+pub mod parse;
+
+pub use cook::{cook, cook_str, CookedExperiment};
+pub use parse::{parse_recipe, ClusterKind, ContainerKind, Recipe, RecipeError, WorkflowKind};

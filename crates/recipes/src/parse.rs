@@ -1,0 +1,260 @@
+//! The recipe text format.
+//!
+//! Line-oriented: `#` starts a comment; each directive is a keyword
+//! followed by positional words and `key=value` pairs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hiway_core::SchedulerPolicy;
+
+/// A parse/validation error with line context.
+#[derive(Clone, Debug)]
+pub struct RecipeError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for RecipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recipe error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RecipeError {}
+
+/// Which infrastructure to stand up.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterKind {
+    /// The paper's 24-node Xeon cluster behind one 1 GbE switch.
+    Local { nodes: usize },
+    /// EC2 virtual cluster with dedicated master nodes and S3 attached.
+    Ec2 { workers: usize, node: String },
+}
+
+/// Container sizing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ContainerKind {
+    /// Fixed vcores/memory per container.
+    Fixed { vcores: u32, memory_mb: u64 },
+    /// One whole worker node per container, in-container multithreading.
+    WholeNode,
+}
+
+/// Which workflow to generate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkflowKind {
+    Snv { profile: String, samples: usize },
+    Rnaseq { replicates: usize },
+    Montage { images: usize },
+    Kmeans { partitions: usize },
+}
+
+/// A parsed recipe.
+#[derive(Clone, Debug)]
+pub struct Recipe {
+    pub cluster: ClusterKind,
+    pub scheduler: SchedulerPolicy,
+    pub container: ContainerKind,
+    pub workflow: WorkflowKind,
+    /// Extra files to stage beyond the workflow's own inputs.
+    pub extra_stage: Vec<(String, u64)>,
+    pub seed: u64,
+}
+
+fn err(line: usize, message: impl Into<String>) -> RecipeError {
+    RecipeError { line, message: message.into() }
+}
+
+struct Directive<'a> {
+    line: usize,
+    words: Vec<&'a str>,
+    kv: HashMap<&'a str, &'a str>,
+}
+
+impl<'a> Directive<'a> {
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, RecipeError> {
+        match self.kv.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(self.line, format!("{key}={v} is not a number"))),
+        }
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, RecipeError> {
+        match self.kv.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(self.line, format!("{key}={v} is not a number"))),
+        }
+    }
+}
+
+/// Parses a recipe document.
+pub fn parse_recipe(text: &str) -> Result<Recipe, RecipeError> {
+    let mut cluster = None;
+    let mut scheduler = SchedulerPolicy::DataAware;
+    let mut container = ContainerKind::Fixed { vcores: 1, memory_mb: 1024 };
+    let mut workflow = None;
+    let mut extra_stage = Vec::new();
+    let mut seed = 0u64;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = Vec::new();
+        let mut kv = HashMap::new();
+        for token in line.split_whitespace() {
+            match token.split_once('=') {
+                Some((k, v)) => {
+                    kv.insert(k, v);
+                }
+                None => words.push(token),
+            }
+        }
+        let d = Directive { line: line_no, words, kv };
+        match d.words.first().copied() {
+            Some("cluster") => {
+                cluster = Some(match d.words.get(1).copied() {
+                    Some("local") => ClusterKind::Local { nodes: d.get_usize("nodes", 24)? },
+                    Some("ec2") => ClusterKind::Ec2 {
+                        workers: d.get_usize("workers", 1)?,
+                        node: d.kv.get("node").unwrap_or(&"m3.large").to_string(),
+                    },
+                    other => return Err(err(line_no, format!("unknown cluster kind {other:?}"))),
+                });
+                seed = d.get_u64("seed", seed)?;
+            }
+            Some("scheduler") => {
+                scheduler = match d.words.get(1).copied() {
+                    Some("fcfs") => SchedulerPolicy::Fcfs,
+                    Some("data-aware") => SchedulerPolicy::DataAware,
+                    Some("round-robin") => SchedulerPolicy::RoundRobin,
+                    Some("heft") => SchedulerPolicy::Heft,
+                    Some("adaptive") => SchedulerPolicy::Adaptive,
+                    other => {
+                        return Err(err(line_no, format!("unknown scheduler {other:?}")))
+                    }
+                };
+            }
+            Some("container") => {
+                container = match d.words.get(1).copied() {
+                    Some("whole-node") => ContainerKind::WholeNode,
+                    _ => ContainerKind::Fixed {
+                        vcores: d.get_usize("vcores", 1)? as u32,
+                        memory_mb: d.get_u64("memory", 1024)?,
+                    },
+                };
+            }
+            Some("stage") => {
+                let path = d
+                    .words
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "stage needs a path"))?;
+                let size = d
+                    .words
+                    .get(2)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "stage needs a byte size"))?;
+                extra_stage.push((path.to_string(), size));
+            }
+            Some("workflow") => {
+                workflow = Some(match d.words.get(1).copied() {
+                    Some("snv") => WorkflowKind::Snv {
+                        profile: d.kv.get("profile").unwrap_or(&"table2").to_string(),
+                        samples: d.get_usize("samples", 1)?,
+                    },
+                    Some("rnaseq") => WorkflowKind::Rnaseq {
+                        replicates: d.get_usize("replicates", 3)?,
+                    },
+                    Some("montage") => WorkflowKind::Montage {
+                        images: d.get_usize("images", 11)?,
+                    },
+                    Some("kmeans") => WorkflowKind::Kmeans {
+                        partitions: d.get_usize("partitions", 8)?,
+                    },
+                    other => return Err(err(line_no, format!("unknown workflow {other:?}"))),
+                });
+            }
+            Some(other) => return Err(err(line_no, format!("unknown directive '{other}'"))),
+            None => {}
+        }
+    }
+
+    let cluster = cluster.ok_or_else(|| err(0, "recipe has no 'cluster' directive"))?;
+    let workflow = workflow.ok_or_else(|| err(0, "recipe has no 'workflow' directive"))?;
+    // Static schedulers cannot run the iterative languages.
+    if scheduler.is_static() {
+        if let WorkflowKind::Snv { .. } | WorkflowKind::Kmeans { .. } = workflow {
+            return Err(err(
+                0,
+                format!(
+                    "scheduler '{}' is static and cannot run an iterative (Cuneiform) workflow",
+                    scheduler.name()
+                ),
+            ));
+        }
+    }
+    Ok(Recipe { cluster, scheduler, container, workflow, extra_stage, seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_recipe() {
+        let r = parse_recipe(
+            "# a comment\n\
+             cluster ec2 workers=8 node=m3.large seed=42\n\
+             scheduler fcfs\n\
+             container whole-node\n\
+             stage /ref/genome.fa 1000000\n\
+             workflow snv profile=table2 samples=8\n",
+        )
+        .unwrap();
+        assert_eq!(r.cluster, ClusterKind::Ec2 { workers: 8, node: "m3.large".into() });
+        assert_eq!(r.scheduler, SchedulerPolicy::Fcfs);
+        assert_eq!(r.container, ContainerKind::WholeNode);
+        assert_eq!(r.extra_stage, vec![("/ref/genome.fa".to_string(), 1_000_000)]);
+        assert_eq!(r.workflow, WorkflowKind::Snv { profile: "table2".into(), samples: 8 });
+        assert_eq!(r.seed, 42);
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let r = parse_recipe("cluster local nodes=4\nworkflow montage\n").unwrap();
+        assert_eq!(r.scheduler, SchedulerPolicy::DataAware);
+        assert_eq!(r.container, ContainerKind::Fixed { vcores: 1, memory_mb: 1024 });
+        assert_eq!(r.workflow, WorkflowKind::Montage { images: 11 });
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        assert!(parse_recipe("workflow montage\n").is_err());
+        assert!(parse_recipe("cluster local\n").is_err());
+    }
+
+    #[test]
+    fn bad_directives_carry_line_numbers() {
+        let e = parse_recipe("cluster local\nbogus\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_recipe("cluster martian\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_recipe("cluster ec2 workers=many\nworkflow montage\n").unwrap_err();
+        assert!(e.message.contains("not a number"));
+    }
+
+    #[test]
+    fn static_scheduler_with_iterative_workflow_rejected() {
+        let e = parse_recipe("cluster local\nscheduler heft\nworkflow kmeans\n").unwrap_err();
+        assert!(e.message.contains("iterative"), "{}", e.message);
+        // … but HEFT over the static Montage DAX is fine.
+        assert!(parse_recipe("cluster local\nscheduler heft\nworkflow montage\n").is_ok());
+    }
+}

@@ -1,0 +1,652 @@
+//! The rate-based discrete-event engine.
+//!
+//! Every ongoing piece of work is an [`Activity`] with a remaining volume:
+//! CPU work in reference CPU-seconds, disk and network transfers in bytes.
+//! Whenever the set of activities changes, the engine recomputes every
+//! activity's rate with the fair-sharing models in [`crate::cpufair`] and
+//! [`crate::netfair`], then advances virtual time to the earliest completion
+//! or timer. Completions are *returned* to the caller rather than delivered
+//! through callbacks, so the layers above (HDFS, YARN, the Hi-WAY AM) drive
+//! the simulation with an ordinary poll loop and stay borrow-checker
+//! friendly.
+//!
+//! Background load (the paper's `stress` processes in the Figure 9
+//! experiment) is modelled as activities with infinite volume: they consume
+//! capacity forever and never complete.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::cpufair::fair_cores;
+use crate::metrics::NodeUsage;
+use crate::netfair::{max_min_rates, Constraint, FlowPath};
+use crate::spec::{ClusterSpec, ExternalId, NodeId};
+use crate::time::SimTime;
+
+/// Handle to a running activity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActivityId(pub u64);
+
+/// Handle to a pending timer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// One side of a network transfer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Endpoint {
+    Node(NodeId),
+    External(ExternalId),
+}
+
+/// The kinds of work the kernel knows how to pace.
+#[derive(Clone, Debug)]
+pub enum Activity {
+    /// CPU work on `node`, able to use up to `threads` cores concurrently.
+    /// Volume is measured in *reference* CPU-seconds: a node with speed `s`
+    /// burns them at `allocated_cores * s` per second.
+    Compute { node: NodeId, threads: f64 },
+    /// A local disk read on `node` (shares the node's read bandwidth).
+    DiskRead { node: NodeId },
+    /// A local disk write on `node` (shares the node's write bandwidth).
+    DiskWrite { node: NodeId },
+    /// A network transfer. When `src_disk`/`dst_disk` are set the flow is
+    /// additionally throttled by the source's disk-read / destination's
+    /// disk-write bandwidth — e.g. an HDFS remote read streams from the
+    /// remote disk through both NICs onto the local disk.
+    Flow {
+        src: Endpoint,
+        dst: Endpoint,
+        src_disk: bool,
+        dst_disk: bool,
+    },
+}
+
+/// Something that fired during [`Engine::step`].
+#[derive(Clone, Debug)]
+pub enum Completion<T> {
+    /// An activity ran its volume down to zero.
+    Activity { id: ActivityId, tag: T },
+    /// A timer reached its deadline.
+    Timer { id: TimerId, tag: T },
+}
+
+struct Act<T> {
+    kind: Activity,
+    remaining: f64,
+    rate: f64,
+    tag: T,
+}
+
+struct Timer<T> {
+    at: SimTime,
+    tag: T,
+    cancelled: bool,
+}
+
+/// Residual volume below which an activity counts as finished. Volumes are
+/// bytes or CPU-seconds, so a micro-unit is far below observable scale.
+const COMPLETION_EPS: f64 = 1e-6;
+
+/// Activities whose remaining volume would drain within this many seconds
+/// at their current rate also count as finished. This absorbs the
+/// floating-point residue left by repeated `remaining -= rate * dt`
+/// updates: without it, a residue slightly above `COMPLETION_EPS` whose
+/// finish instant rounds to `now` would freeze virtual time.
+const COMPLETION_TIME_EPS: f64 = 1e-9;
+
+fn is_complete(remaining: f64, rate: f64) -> bool {
+    remaining <= COMPLETION_EPS.max(rate * COMPLETION_TIME_EPS)
+}
+
+/// The simulation engine. `T` is the caller's completion tag type.
+pub struct Engine<T> {
+    spec: ClusterSpec,
+    now: SimTime,
+    acts: BTreeMap<u64, Act<T>>,
+    timers: BTreeMap<u64, Timer<T>>,
+    next_id: u64,
+    rates_dirty: bool,
+    usage: Vec<NodeUsage>,
+    /// Cached instantaneous per-node totals, refreshed with the rates:
+    /// (alloc cores, disk read B/s, disk write B/s, net in B/s, net out B/s).
+    inst: Vec<[f64; 5]>,
+}
+
+impl<T: Clone> Engine<T> {
+    pub fn new(spec: ClusterSpec) -> Engine<T> {
+        let n = spec.nodes.len();
+        Engine {
+            spec,
+            now: SimTime::ZERO,
+            acts: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            next_id: 0,
+            rates_dirty: true,
+            usage: vec![NodeUsage::default(); n],
+            inst: vec![[0.0; 5]; n],
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Starts an activity with `volume` units of work. `f64::INFINITY`
+    /// creates a background load that never completes (cancel to stop it).
+    pub fn start(&mut self, kind: Activity, volume: f64, tag: T) -> ActivityId {
+        assert!(volume >= 0.0, "negative activity volume");
+        if let Activity::Compute { node, threads } = &kind {
+            assert!(*threads > 0.0, "compute must use at least a sliver of a core");
+            assert!(node.index() < self.spec.nodes.len(), "unknown node");
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.acts.insert(
+            id,
+            Act {
+                kind,
+                remaining: volume.max(COMPLETION_EPS / 2.0),
+                rate: 0.0,
+                tag,
+            },
+        );
+        self.rates_dirty = true;
+        ActivityId(id)
+    }
+
+    /// Cancels a running activity, returning its tag (None if already done).
+    pub fn cancel(&mut self, id: ActivityId) -> Option<T> {
+        let act = self.acts.remove(&id.0)?;
+        self.rates_dirty = true;
+        Some(act.tag)
+    }
+
+    /// Number of in-flight activities (including background loads).
+    pub fn active_count(&self) -> usize {
+        self.acts.len()
+    }
+
+    /// Schedules a timer at absolute time `at` (clamped to now).
+    pub fn set_timer(&mut self, at: SimTime, tag: T) -> TimerId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.timers.insert(
+            id,
+            Timer {
+                at: at.max(self.now),
+                tag,
+                cancelled: false,
+            },
+        );
+        TimerId(id)
+    }
+
+    /// Schedules a timer `delay` seconds from now.
+    pub fn set_timer_after(&mut self, delay: f64, tag: T) -> TimerId {
+        let at = self.now + delay.max(0.0);
+        self.set_timer(at, tag)
+    }
+
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        if let Some(t) = self.timers.get_mut(&id.0) {
+            t.cancelled = true;
+        }
+    }
+
+    /// Debug: dump remaining activities (id, kind, remaining, rate).
+    pub fn debug_activities(&mut self) -> Vec<(u64, String, f64, f64)> {
+        self.refresh_rates();
+        self.acts
+            .iter()
+            .map(|(id, a)| (*id, format!("{:?}", a.kind), a.remaining, a.rate))
+            .collect()
+    }
+
+    /// Debug: pending (non-cancelled) timer count.
+    pub fn debug_timer_count(&self) -> usize {
+        self.timers.values().filter(|t| !t.cancelled).count()
+    }
+
+    /// Virtual time of the next completion or timer, if any work is pending.
+    pub fn peek_next_time(&mut self) -> Option<SimTime> {
+        self.refresh_rates();
+        let mut next: Option<SimTime> = None;
+        for act in self.acts.values() {
+            if act.remaining.is_finite() && act.rate > 0.0 {
+                let t = if is_complete(act.remaining, act.rate) {
+                    self.now // already effectively finished
+                } else {
+                    self.now + act.remaining / act.rate
+                };
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        }
+        for timer in self.timers.values() {
+            if !timer.cancelled {
+                next = Some(next.map_or(timer.at, |n| n.min(timer.at)));
+            }
+        }
+        next
+    }
+
+    /// Advances to the next completion/timer instant and returns everything
+    /// that fired there, in deterministic (creation) order. Returns `None`
+    /// when only background activities remain.
+    pub fn step(&mut self) -> Option<Vec<Completion<T>>> {
+        let target = self.peek_next_time()?;
+        self.advance_to(target);
+
+        let mut fired = Vec::new();
+        let done: Vec<u64> = self
+            .acts
+            .iter()
+            .filter(|(_, a)| a.remaining.is_finite() && is_complete(a.remaining, a.rate))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in done {
+            let act = self.acts.remove(&id).expect("collected above");
+            fired.push(Completion::Activity {
+                id: ActivityId(id),
+                tag: act.tag,
+            });
+            self.rates_dirty = true;
+        }
+        let due: Vec<u64> = self
+            .timers
+            .iter()
+            .filter(|(_, t)| !t.cancelled && t.at <= self.now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in due {
+            let timer = self.timers.remove(&id).expect("collected above");
+            fired.push(Completion::Timer {
+                id: TimerId(id),
+                tag: timer.tag,
+            });
+        }
+        // Cancelled timers that have passed are garbage-collected here.
+        let now = self.now;
+        self.timers.retain(|_, t| !(t.cancelled && t.at <= now));
+        Some(fired)
+    }
+
+    /// Advances virtual time to `target` without processing completions
+    /// (used by `step`, and by callers that want to sample metrics at a
+    /// fixed cadence).
+    pub fn advance_to(&mut self, target: SimTime) {
+        assert!(target >= self.now, "time cannot run backwards");
+        self.refresh_rates();
+        let dt = target - self.now;
+        if dt > 0.0 {
+            for act in self.acts.values_mut() {
+                if act.remaining.is_finite() {
+                    act.remaining -= act.rate * dt;
+                    if act.remaining < 0.0 {
+                        act.remaining = 0.0;
+                    }
+                }
+            }
+            for (node, inst) in self.inst.iter().enumerate() {
+                self.usage[node].accumulate(dt, inst, &self.spec.nodes[node]);
+            }
+            self.now = target;
+        }
+    }
+
+    /// Drains and returns the usage accumulated on `node` since the last
+    /// call (or simulation start).
+    pub fn take_usage(&mut self, node: NodeId) -> NodeUsage {
+        std::mem::take(&mut self.usage[node.index()])
+    }
+
+    /// Recomputes all activity rates if the activity set changed.
+    fn refresh_rates(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        self.rates_dirty = false;
+        for row in self.inst.iter_mut() {
+            *row = [0.0; 5];
+        }
+
+        self.refresh_cpu_rates();
+        self.refresh_io_rates();
+    }
+
+    fn refresh_cpu_rates(&mut self) {
+        // Group compute activities per node, run the water-filling model.
+        let mut per_node: HashMap<u32, Vec<(u64, f64)>> = HashMap::new();
+        for (&id, act) in &self.acts {
+            if let Activity::Compute { node, threads } = act.kind {
+                per_node.entry(node.0).or_default().push((id, threads));
+            }
+        }
+        let mut nodes: Vec<u32> = per_node.keys().copied().collect();
+        nodes.sort_unstable();
+        for n in nodes {
+            let members = &per_node[&n];
+            let spec = &self.spec.nodes[n as usize];
+            let caps: Vec<f64> = members.iter().map(|(_, t)| *t).collect();
+            let alloc = fair_cores(&caps, spec.cores as f64);
+            let mut total = 0.0;
+            for ((id, _), cores) in members.iter().zip(alloc.iter()) {
+                self.acts.get_mut(id).expect("member exists").rate = cores * spec.speed;
+                total += cores;
+            }
+            self.inst[n as usize][0] = total;
+        }
+    }
+
+    fn refresh_io_rates(&mut self) {
+        // Constraint layout: per node [disk_read, disk_write, nic_out,
+        // nic_in], then the optional switch, then one per external service.
+        let nn = self.spec.nodes.len();
+        let mut constraints = Vec::with_capacity(nn * 4 + 1 + self.spec.externals.len());
+        for node in &self.spec.nodes {
+            constraints.push(Constraint { capacity: node.disk_read_bps });
+            constraints.push(Constraint { capacity: node.disk_write_bps });
+            constraints.push(Constraint { capacity: node.nic_bps });
+            constraints.push(Constraint { capacity: node.nic_bps });
+        }
+        let switch_idx = constraints.len();
+        constraints.push(Constraint {
+            capacity: self.spec.switch_bps.unwrap_or(f64::INFINITY),
+        });
+        let ext_base = constraints.len();
+        for ext in &self.spec.externals {
+            constraints.push(Constraint { capacity: ext.aggregate_bps });
+        }
+
+        let disk_r = |n: NodeId| n.index() * 4;
+        let disk_w = |n: NodeId| n.index() * 4 + 1;
+        let nic_out = |n: NodeId| n.index() * 4 + 2;
+        let nic_in = |n: NodeId| n.index() * 4 + 3;
+
+        let mut ids = Vec::new();
+        let mut paths = Vec::new();
+        for (&id, act) in &self.acts {
+            let path = match &act.kind {
+                Activity::Compute { .. } => continue,
+                Activity::DiskRead { node } => FlowPath {
+                    constraints: vec![disk_r(*node)],
+                    rate_cap: None,
+                },
+                Activity::DiskWrite { node } => FlowPath {
+                    constraints: vec![disk_w(*node)],
+                    rate_cap: None,
+                },
+                Activity::Flow { src, dst, src_disk, dst_disk } => {
+                    let mut cs = Vec::with_capacity(5);
+                    let mut cap = None;
+                    let mut via_switch;
+                    match src {
+                        Endpoint::Node(n) => {
+                            cs.push(nic_out(*n));
+                            if *src_disk {
+                                cs.push(disk_r(*n));
+                            }
+                            via_switch = true; // may be cleared by a WAN dst
+                        }
+                        Endpoint::External(e) => {
+                            cs.push(ext_base + e.index());
+                            let ext = &self.spec.externals[e.index()];
+                            cap = ext.per_flow_bps;
+                            via_switch = ext.via_switch;
+                        }
+                    }
+                    match dst {
+                        Endpoint::Node(n) => {
+                            cs.push(nic_in(*n));
+                            if *dst_disk {
+                                cs.push(disk_w(*n));
+                            }
+                        }
+                        Endpoint::External(e) => {
+                            cs.push(ext_base + e.index());
+                            let ext = &self.spec.externals[e.index()];
+                            cap = cap.min_opt(ext.per_flow_bps);
+                            if !ext.via_switch {
+                                via_switch = false;
+                            }
+                        }
+                    }
+                    if via_switch && self.spec.switch_bps.is_some() {
+                        cs.push(switch_idx);
+                    }
+                    FlowPath {
+                        constraints: cs,
+                        rate_cap: cap,
+                    }
+                }
+            };
+            ids.push(id);
+            paths.push(path);
+        }
+
+        let rates = max_min_rates(&constraints, &paths);
+        for (idx, id) in ids.iter().enumerate() {
+            let rate = rates[idx];
+            let act = self.acts.get_mut(id).expect("flow exists");
+            act.rate = rate;
+            match &act.kind {
+                Activity::DiskRead { node } => self.inst[node.index()][1] += rate,
+                Activity::DiskWrite { node } => self.inst[node.index()][2] += rate,
+                Activity::Flow { src, dst, src_disk, dst_disk } => {
+                    if let Endpoint::Node(n) = src {
+                        self.inst[n.index()][4] += rate;
+                        if *src_disk {
+                            self.inst[n.index()][1] += rate;
+                        }
+                    }
+                    if let Endpoint::Node(n) = dst {
+                        self.inst[n.index()][3] += rate;
+                        if *dst_disk {
+                            self.inst[n.index()][2] += rate;
+                        }
+                    }
+                }
+                Activity::Compute { .. } => unreachable!("filtered above"),
+            }
+        }
+    }
+}
+
+/// `Option<f64>` min helper for combining per-flow caps.
+trait MinOpt {
+    fn min_opt(self, other: Option<f64>) -> Option<f64>;
+}
+
+impl MinOpt for Option<f64> {
+    fn min_opt(self, other: Option<f64>) -> Option<f64> {
+        match (self, other) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NodeSpec;
+
+    fn one_node_cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous(1, "n", &NodeSpec::m3_large("proto"))
+    }
+
+    fn two_node_cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous(2, "n", &NodeSpec::m3_large("proto"))
+    }
+
+    #[test]
+    fn compute_runs_at_thread_count() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        // 2-core node, 2 threads, 10 CPU-seconds -> 5 wall seconds.
+        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 10.0, 7);
+        let fired = e.step().expect("one completion");
+        assert_eq!(fired.len(), 1);
+        assert!(matches!(fired[0], Completion::Activity { tag: 7, .. }));
+        assert!((e.now().as_secs() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_speed_scales_compute() {
+        let mut spec = one_node_cluster();
+        spec.nodes[0].speed = 2.0;
+        let mut e: Engine<u32> = Engine::new(spec);
+        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 10.0, 0);
+        e.step().expect("completes");
+        assert!((e.now().as_secs() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_tasks_share_cores() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        // Both want both cores of the 2-core node; each gets 1 core.
+        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 10.0, 1);
+        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 10.0, 2);
+        let fired = e.step().expect("both at t=10");
+        assert_eq!(fired.len(), 2);
+        assert!((e.now().as_secs() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_task_completion_speeds_up_survivor() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 4.0, 1);
+        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 12.0, 2);
+        // Shared phase: both at 1 core. Task 1 finishes at t=4 with task 2
+        // at 8 remaining; then task 2 runs at 2 cores -> 4 more seconds.
+        let f1 = e.step().unwrap();
+        assert_eq!(f1.len(), 1);
+        assert!((e.now().as_secs() - 4.0).abs() < 1e-6);
+        e.step().unwrap();
+        assert!((e.now().as_secs() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disk_read_paced_by_bandwidth() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        // m3.large reads at 220 MB/s; 220 MB -> 1 second.
+        e.start(Activity::DiskRead { node: NodeId(0) }, 220.0e6, 0);
+        e.step().unwrap();
+        assert!((e.now().as_secs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_bounded_by_slower_nic() {
+        let mut spec = two_node_cluster();
+        spec.nodes[1].nic_bps = 10.0e6;
+        let mut e: Engine<u32> = Engine::new(spec);
+        e.start(
+            Activity::Flow {
+                src: Endpoint::Node(NodeId(0)),
+                dst: Endpoint::Node(NodeId(1)),
+                src_disk: false,
+                dst_disk: false,
+            },
+            100.0e6,
+            0,
+        );
+        e.step().unwrap();
+        assert!((e.now().as_secs() - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn switch_aggregate_throttles_parallel_flows() {
+        let mut spec = ClusterSpec::homogeneous(4, "n", &NodeSpec::m3_large("p"));
+        spec.switch_bps = Some(50.0e6);
+        let mut e: Engine<u32> = Engine::new(spec);
+        // Two disjoint flows, each NIC-capped at 87.5 MB/s, but sharing a
+        // 50 MB/s switch -> 25 MB/s each.
+        for (s, d) in [(0, 1), (2, 3)] {
+            e.start(
+                Activity::Flow {
+                    src: Endpoint::Node(NodeId(s)),
+                    dst: Endpoint::Node(NodeId(d)),
+                    src_disk: false,
+                    dst_disk: false,
+                },
+                25.0e6,
+                0,
+            );
+        }
+        e.step().unwrap();
+        assert!((e.now().as_secs() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn external_per_flow_cap_applies() {
+        let mut spec = one_node_cluster();
+        let s3 = spec.add_external(crate::spec::ExternalSpec::s3());
+        let mut e: Engine<u32> = Engine::new(spec);
+        e.start(
+            Activity::Flow {
+                src: Endpoint::External(s3),
+                dst: Endpoint::Node(NodeId(0)),
+                src_disk: false,
+                dst_disk: true,
+            },
+            160.0e6,
+            0,
+        );
+        // S3 per-flow cap is 80 MB/s (< NIC and < disk write): 2 seconds.
+        e.step().unwrap();
+        assert!((e.now().as_secs() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn background_stress_slows_compute() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        // One single-thread task + two infinite single-thread stress procs
+        // on 2 cores: everyone is below the fair level (2/3), caps bind at
+        // 2/3 each... cap is 1.0 > 2/3, so each gets 2/3 core.
+        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 2.0, 1);
+        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, f64::INFINITY, 8);
+        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, f64::INFINITY, 9);
+        let fired = e.step().unwrap();
+        assert_eq!(fired.len(), 1);
+        assert!((e.now().as_secs() - 3.0).abs() < 1e-6, "now={}", e.now());
+        // Background loads remain; no further completions.
+        assert!(e.step().is_none());
+        assert_eq!(e.active_count(), 2);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        let t1 = e.set_timer_after(1.0, 1);
+        let _t2 = e.set_timer_after(2.0, 2);
+        e.cancel_timer(t1);
+        let fired = e.step().unwrap();
+        assert_eq!(fired.len(), 1);
+        assert!(matches!(fired[0], Completion::Timer { tag: 2, .. }));
+        assert!((e.now().as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancel_activity_returns_tag() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        let id = e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 100.0, 42);
+        assert_eq!(e.cancel(id), Some(42));
+        assert_eq!(e.cancel(id), None);
+        assert!(e.step().is_none());
+    }
+
+    #[test]
+    fn usage_accounting_tracks_cpu() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 10.0, 0);
+        e.step().unwrap();
+        let u = e.take_usage(NodeId(0));
+        assert!((u.core_seconds - 10.0).abs() < 1e-6);
+        assert!((u.elapsed - 5.0).abs() < 1e-6);
+        // Second take returns zeroes.
+        let u2 = e.take_usage(NodeId(0));
+        assert_eq!(u2.elapsed, 0.0);
+    }
+}

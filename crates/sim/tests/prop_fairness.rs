@@ -1,0 +1,145 @@
+//! Property tests of the fair-sharing kernels: these invariants are what
+//! make the simulated performance numbers trustworthy.
+
+use proptest::prelude::*;
+
+use hiway_sim::cpufair::fair_cores;
+use hiway_sim::netfair::{max_min_rates, Constraint, FlowPath};
+
+proptest! {
+    /// CPU water-filling: caps respected, capacity never exceeded, full
+    /// utilization under contention, and the max-min property (nobody
+    /// below their cap receives less than anyone else).
+    #[test]
+    fn cpu_fair_share_invariants(
+        caps in proptest::collection::vec(0.0f64..16.0, 1..12),
+        cores in 0.5f64..64.0,
+    ) {
+        let alloc = fair_cores(&caps, cores);
+        prop_assert_eq!(alloc.len(), caps.len());
+        let total: f64 = alloc.iter().sum();
+        let demand: f64 = caps.iter().sum();
+        for (a, c) in alloc.iter().zip(caps.iter()) {
+            prop_assert!(*a <= c + 1e-9, "allocation exceeds cap");
+            prop_assert!(*a >= -1e-12);
+        }
+        prop_assert!(total <= cores + 1e-6, "capacity exceeded");
+        if demand >= cores {
+            prop_assert!((total - cores).abs() < 1e-6, "under-utilized under contention");
+        } else {
+            prop_assert!((total - demand).abs() < 1e-6, "work not conserved");
+        }
+        // Max-min: unsatisfied demands all sit at the same water level.
+        let level = alloc
+            .iter()
+            .zip(caps.iter())
+            .filter(|(a, c)| **a < **c - 1e-9)
+            .map(|(a, _)| *a)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if level.is_finite() {
+            for (a, c) in alloc.iter().zip(caps.iter()) {
+                if *a < c - 1e-9 {
+                    prop_assert!((a - level).abs() < 1e-6, "unequal water levels");
+                }
+            }
+        }
+    }
+
+    /// Network max-min fairness: per-constraint sums within capacity,
+    /// per-flow caps respected, and Pareto efficiency (every flow is
+    /// limited by *something* — a cap or a saturated constraint).
+    #[test]
+    fn network_rate_invariants(
+        topo in proptest::collection::vec(
+            (1.0e6f64..1.0e9, proptest::collection::vec(0usize..6, 1..4), proptest::option::of(1.0e5f64..1.0e8)),
+            1..10,
+        ),
+    ) {
+        // Six shared constraints with random capacities derived from the
+        // first flow entries (deterministic given the inputs).
+        let constraints: Vec<Constraint> = (0..6)
+            .map(|i| Constraint { capacity: 1.0e6 * (i as f64 + 1.0) * 7.0 })
+            .collect();
+        let flows: Vec<FlowPath> = topo
+            .iter()
+            .map(|(_, cs, cap)| {
+                let mut cs = cs.clone();
+                cs.sort_unstable();
+                cs.dedup();
+                FlowPath { constraints: cs, rate_cap: *cap }
+            })
+            .collect();
+        let rates = max_min_rates(&constraints, &flows);
+        prop_assert_eq!(rates.len(), flows.len());
+
+        // Capacity per constraint.
+        for (ci, c) in constraints.iter().enumerate() {
+            let used: f64 = flows
+                .iter()
+                .zip(rates.iter())
+                .filter(|(f, _)| f.constraints.contains(&ci))
+                .map(|(_, r)| *r)
+                .sum();
+            prop_assert!(used <= c.capacity * (1.0 + 1e-6) + 1.0, "constraint {ci} over capacity");
+        }
+        // Caps and positivity.
+        for (f, r) in flows.iter().zip(rates.iter()) {
+            prop_assert!(*r >= 0.0);
+            if let Some(cap) = f.rate_cap {
+                prop_assert!(*r <= cap * (1.0 + 1e-6) + 1.0, "flow over its cap");
+            }
+        }
+        // Pareto: every flow is at its cap or crosses a saturated constraint.
+        for (f, r) in flows.iter().zip(rates.iter()) {
+            let at_cap = f.rate_cap.map(|c| *r >= c * (1.0 - 1e-6)).unwrap_or(false);
+            let on_saturated = f.constraints.iter().any(|&ci| {
+                let used: f64 = flows
+                    .iter()
+                    .zip(rates.iter())
+                    .filter(|(g, _)| g.constraints.contains(&ci))
+                    .map(|(_, r)| *r)
+                    .sum();
+                used >= constraints[ci].capacity * (1.0 - 1e-6)
+            });
+            prop_assert!(at_cap || on_saturated, "flow not limited by anything");
+        }
+    }
+}
+
+/// Engine-level property: a batch of compute activities with random
+/// volumes on one node always completes, in total-work time.
+#[test]
+fn engine_conserves_cpu_work() {
+    use hiway_sim::{Activity, ClusterSpec, Engine, NodeId, NodeSpec};
+    use proptest::test_runner::{Config, TestRunner};
+
+    let mut runner = TestRunner::new(Config::with_cases(64));
+    runner
+        .run(
+            &proptest::collection::vec((0.1f64..50.0, 1u32..4), 1..10),
+            |jobs| {
+                let spec = ClusterSpec::homogeneous(1, "n", &NodeSpec::m3_large("p"));
+                let mut engine: Engine<u32> = Engine::new(spec);
+                let total_work: f64 = jobs.iter().map(|(w, _)| *w).sum();
+                for (i, (work, threads)) in jobs.iter().enumerate() {
+                    engine.start(
+                        Activity::Compute { node: NodeId(0), threads: *threads as f64 },
+                        *work,
+                        i as u32,
+                    );
+                }
+                let mut completions = 0;
+                while let Some(evts) = engine.step() {
+                    completions += evts.len();
+                }
+                prop_assert_eq!(completions, jobs.len());
+                // 2 cores: elapsed ≥ total/2 (can't beat capacity) and
+                // ≤ total (can't be slower than serial on one core).
+                let elapsed = engine.now().as_secs();
+                prop_assert!(elapsed >= total_work / 2.0 - 1e-6);
+                prop_assert!(elapsed <= total_work + 1e-6);
+                Ok(())
+            },
+        )
+        .unwrap();
+}

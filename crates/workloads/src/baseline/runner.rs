@@ -1,0 +1,603 @@
+//! A minimal DAG executor used by both baseline models.
+//!
+//! Deliberately simpler than the Hi-WAY AM: greedy slot scheduling in task
+//! id order, no provenance, no retries, no data-aware selection. Storage
+//! is pluggable: HDFS with node-local replicas (Tez) or a shared
+//! network-attached volume (CloudMan's EBS).
+
+use std::collections::{HashMap, HashSet};
+
+use hiway_core::cluster::{Cluster, Tag};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use hiway_hdfs::exec as hdfs_exec;
+use hiway_lang::ir::WorkflowSource;
+use hiway_lang::{StaticWorkflow, TaskId, TaskSpec};
+use hiway_sim::{Activity, Completion, Endpoint, ExternalId, NodeId};
+
+/// Where a baseline engine keeps workflow data.
+#[derive(Clone, Copy, Debug)]
+pub enum Storage {
+    /// HDFS on the cluster's local disks (Tez).
+    HdfsLocal,
+    /// A shared network-attached volume (CloudMan's EBS).
+    SharedVolume(ExternalId),
+}
+
+/// Baseline engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineConfig {
+    pub storage: Storage,
+    /// Concurrent tasks per node; 0 means one per core.
+    pub slots_per_node: u32,
+    /// Cores a task may use; 0 divides the node's cores by the slot
+    /// count. The Figure 4 Tez setup uses 1 (one-core containers).
+    pub slot_vcores: u32,
+    /// Model map/reduce-style *shuffle edges*: intermediate data moves
+    /// between stages through the network regardless of where replicas
+    /// sit. This is what wrapping file-based black-box tools into a Tez
+    /// DAG costs — "external tools consuming and producing file-based
+    /// data need to be wrapped in order to be used in Tez" (paper §2.2) —
+    /// and the traffic the data-aware scheduler avoids in Figure 4.
+    pub shuffle_edges: bool,
+    /// Seed for shuffle-source draws.
+    pub seed: u64,
+    /// Per-task startup latency in seconds.
+    pub startup_secs: f64,
+    /// Whether a task may use all node cores regardless of slot count.
+    pub multithread_full_node: bool,
+}
+
+/// Result of a baseline run.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    pub name: String,
+    pub runtime_secs: f64,
+    /// Node that executed each task.
+    pub placements: Vec<(TaskId, NodeId)>,
+}
+
+#[derive(PartialEq)]
+enum St {
+    Waiting,
+    Starting,
+    StageIn,
+    Running,
+    StageOut,
+    Done,
+}
+
+struct Run {
+    spec: TaskSpec,
+    state: St,
+    node: NodeId,
+    remaining: usize,
+    scratch_done: bool,
+}
+
+/// Executes `workflow` to completion on `cluster`. Inputs must already be
+/// present (pre-staged in HDFS, or — for [`Storage::SharedVolume`] —
+/// registered as external files on the volume's service by the caller).
+pub fn run_dag(
+    cluster: &mut Cluster,
+    mut workflow: StaticWorkflow,
+    config: BaselineConfig,
+) -> Result<BaselineReport, String> {
+    let name = workflow.name().to_string();
+    let t0 = cluster.engine.now();
+    let specs = workflow.initial_tasks().map_err(|e| e.to_string())?;
+    let mut tasks: HashMap<TaskId, Run> = specs
+        .into_iter()
+        .map(|spec| {
+            (
+                spec.id,
+                Run {
+                    spec,
+                    state: St::Waiting,
+                    node: NodeId(0),
+                    remaining: 0,
+                    scratch_done: false,
+                },
+            )
+        })
+        .collect();
+    let mut order: Vec<TaskId> = tasks.keys().copied().collect();
+    order.sort();
+
+    // Volume-mode file availability (sizes of produced files are known).
+    let mut on_volume: HashSet<String> = HashSet::new();
+    let sizes: HashMap<String, u64> = tasks
+        .values()
+        .flat_map(|r| r.spec.outputs.iter().map(|o| (o.path.clone(), o.size)))
+        .collect();
+
+    let nodes: Vec<NodeId> = cluster.rm.alive_nodes();
+    if nodes.is_empty() {
+        return Err("no alive nodes".to_string());
+    }
+    let mut free_slots: HashMap<NodeId, u32> = nodes
+        .iter()
+        .map(|&n| {
+            let slots = if config.slots_per_node == 0 {
+                cluster.engine.spec().node(n).cores
+            } else {
+                config.slots_per_node
+            };
+            (n, slots)
+        })
+        .collect();
+    let mut placements = Vec::new();
+    let mut rr = 0usize;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let input_ok = |cluster: &Cluster, on_volume: &HashSet<String>, path: &str| match config.storage {
+        Storage::HdfsLocal => cluster.input_available(path),
+        Storage::SharedVolume(_) => {
+            on_volume.contains(path) || cluster.external_file(path).is_some()
+        }
+    };
+
+    // For volume mode, seed availability with files that exist nowhere as
+    // outputs — the caller staged them on the volume.
+    if let Storage::SharedVolume(_) = config.storage {
+        for r in tasks.values() {
+            for p in &r.spec.inputs {
+                if !sizes.contains_key(p) {
+                    on_volume.insert(p.clone());
+                }
+            }
+        }
+    }
+
+    loop {
+        // Greedy dispatch of every runnable task onto free slots.
+        let mut launched = Vec::new();
+        for &tid in &order {
+            let run = &tasks[&tid];
+            if run.state != St::Waiting {
+                continue;
+            }
+            if !run
+                .spec
+                .inputs
+                .iter()
+                .all(|p| input_ok(cluster, &on_volume, p))
+            {
+                continue;
+            }
+            // Placement-agnostic: next node with a free slot, round-robin.
+            let slot = (0..nodes.len())
+                .map(|k| nodes[(rr + k) % nodes.len()])
+                .find(|n| free_slots[n] > 0);
+            if let Some(node) = slot {
+                rr = (nodes.iter().position(|x| *x == node).expect("member") + 1) % nodes.len();
+                *free_slots.get_mut(&node).expect("slot") -= 1;
+                launched.push((tid, node));
+            }
+        }
+        for (tid, node) in launched {
+            let run = tasks.get_mut(&tid).expect("known");
+            run.state = St::Starting;
+            run.node = node;
+            cluster.engine.set_timer_after(
+                config.startup_secs,
+                Tag::ContainerStarted { wf: u32::MAX, task: tid },
+            );
+        }
+
+        if tasks.values().all(|r| r.state == St::Done) {
+            break;
+        }
+
+        let events = match cluster.engine.step() {
+            Some(events) => events,
+            None => {
+                return Err(format!(
+                    "baseline '{name}' deadlocked with {} unfinished tasks",
+                    tasks.values().filter(|r| r.state != St::Done).count()
+                ))
+            }
+        };
+        for ev in events {
+            let tag = match ev {
+                Completion::Activity { tag, .. } | Completion::Timer { tag, .. } => tag,
+            };
+            match tag {
+                Tag::ContainerStarted { task, .. } => {
+                    let run = tasks.get_mut(&task).expect("known");
+                    run.state = St::StageIn;
+                    let inputs = run.spec.inputs.clone();
+                    let node = run.node;
+                    let mut acts = 0usize;
+                    for path in &inputs {
+                        let stage_tag = Tag::StageIn { wf: u32::MAX, task, file: 0 };
+                        match config.storage {
+                            Storage::SharedVolume(vol) => {
+                                let size = cluster
+                                    .external_file(path)
+                                    .map(|e| e.size)
+                                    .or_else(|| sizes.get(path).copied())
+                                    .unwrap_or(0);
+                                if size > 0 {
+                                    cluster.engine.start(
+                                        Activity::Flow {
+                                            src: Endpoint::External(vol),
+                                            dst: Endpoint::Node(node),
+                                            src_disk: false,
+                                            dst_disk: true,
+                                        },
+                                        size as f64,
+                                        stage_tag,
+                                    );
+                                    acts += 1;
+                                }
+                            }
+                            Storage::HdfsLocal => {
+                                if let Some(ext) = cluster.external_file(path) {
+                                    if ext.size > 0 {
+                                        cluster.engine.start(
+                                            Activity::Flow {
+                                                src: Endpoint::External(ext.service),
+                                                dst: Endpoint::Node(node),
+                                                src_disk: false,
+                                                dst_disk: true,
+                                            },
+                                            ext.size as f64,
+                                            stage_tag,
+                                        );
+                                        acts += 1;
+                                    }
+                                } else if config.shuffle_edges {
+                                    // Shuffle edge: the bytes cross the
+                                    // network from a random upstream
+                                    // container's node.
+                                    let size = cluster.hdfs.len(path).map_err(|e| e.to_string())?;
+                                    let src = nodes[rng.gen_range(0..nodes.len())];
+                                    if size > 0 && src != node {
+                                        cluster.engine.start(
+                                            Activity::Flow {
+                                                src: Endpoint::Node(src),
+                                                dst: Endpoint::Node(node),
+                                                src_disk: true,
+                                                dst_disk: true,
+                                            },
+                                            size as f64,
+                                            stage_tag,
+                                        );
+                                        acts += 1;
+                                    } else if size > 0 {
+                                        cluster.engine.start(
+                                            Activity::DiskRead { node },
+                                            size as f64,
+                                            stage_tag,
+                                        );
+                                        acts += 1;
+                                    }
+                                } else {
+                                    let plan = cluster
+                                        .hdfs
+                                        .read_plan(path, node)
+                                        .map_err(|e| e.to_string())?;
+                                    acts += hdfs_exec::start_read(
+                                        &mut cluster.engine,
+                                        &plan,
+                                        stage_tag,
+                                    )
+                                    .len();
+                                }
+                            }
+                        }
+                    }
+                    let run = tasks.get_mut(&task).expect("known");
+                    run.remaining = acts;
+                    if acts == 0 {
+                        start_exec(cluster, run, task, &config);
+                    }
+                }
+                Tag::StageIn { task, .. } => {
+                    let run = tasks.get_mut(&task).expect("known");
+                    run.remaining -= 1;
+                    if run.remaining == 0 {
+                        start_exec(cluster, run, task, &config);
+                    }
+                }
+                Tag::Exec { task, .. } => {
+                    {
+                        let run = tasks.get_mut(&task).expect("known");
+                        run.remaining = run.remaining.saturating_sub(1);
+                        if run.remaining > 0 {
+                            continue;
+                        }
+                        if !run.scratch_done && run.spec.cost.scratch_bytes > 0 {
+                            // Working-directory I/O: local disk for Tez,
+                            // the shared volume for CloudMan — the
+                            // difference Figure 8 measures.
+                            run.scratch_done = true;
+                            let bytes = run.spec.cost.scratch_bytes as f64;
+                            let node = run.node;
+                            let tag = Tag::Exec { wf: u32::MAX, task };
+                            match config.storage {
+                                Storage::HdfsLocal => {
+                                    cluster.engine.start(
+                                        Activity::DiskWrite { node },
+                                        bytes,
+                                        tag.clone(),
+                                    );
+                                    cluster.engine.start(Activity::DiskRead { node }, bytes, tag);
+                                }
+                                Storage::SharedVolume(vol) => {
+                                    cluster.engine.start(
+                                        Activity::Flow {
+                                            src: Endpoint::Node(node),
+                                            dst: Endpoint::External(vol),
+                                            src_disk: false,
+                                            dst_disk: false,
+                                        },
+                                        bytes,
+                                        tag.clone(),
+                                    );
+                                    cluster.engine.start(
+                                        Activity::Flow {
+                                            src: Endpoint::External(vol),
+                                            dst: Endpoint::Node(node),
+                                            src_disk: false,
+                                            dst_disk: false,
+                                        },
+                                        bytes,
+                                        tag,
+                                    );
+                                }
+                            }
+                            let run = tasks.get_mut(&task).expect("known");
+                            run.remaining = 2;
+                            continue;
+                        }
+                    }
+                    let run = tasks.get_mut(&task).expect("known");
+                    run.state = St::StageOut;
+                    let node = run.node;
+                    let outputs = run.spec.outputs.clone();
+                    let mut acts = 0usize;
+                    for out in &outputs {
+                        let stage_tag = Tag::StageOut { wf: u32::MAX, task, file: 0 };
+                        match config.storage {
+                            Storage::SharedVolume(vol) => {
+                                if out.size > 0 {
+                                    cluster.engine.start(
+                                        Activity::Flow {
+                                            src: Endpoint::Node(node),
+                                            dst: Endpoint::External(vol),
+                                            src_disk: false,
+                                            dst_disk: false,
+                                        },
+                                        out.size as f64,
+                                        stage_tag,
+                                    );
+                                    acts += 1;
+                                }
+                            }
+                            Storage::HdfsLocal => {
+                                let plan = cluster
+                                    .hdfs
+                                    .create(&out.path, out.size, node)
+                                    .map_err(|e| e.to_string())?;
+                                acts +=
+                                    hdfs_exec::start_write(&mut cluster.engine, &plan, stage_tag)
+                                        .len();
+                            }
+                        }
+                    }
+                    let run = tasks.get_mut(&task).expect("known");
+                    run.remaining = acts;
+                    if acts == 0 {
+                        complete_task(cluster, &mut tasks, task, &mut free_slots, &mut on_volume, &config, &mut placements);
+                    }
+                }
+                Tag::StageOut { task, .. } => {
+                    let run = tasks.get_mut(&task).expect("known");
+                    run.remaining -= 1;
+                    if run.remaining == 0 {
+                        complete_task(cluster, &mut tasks, task, &mut free_slots, &mut on_volume, &config, &mut placements);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    Ok(BaselineReport {
+        name,
+        runtime_secs: cluster.engine.now().since(t0),
+        placements,
+    })
+}
+
+fn start_exec(cluster: &mut Cluster, run: &mut Run, task: TaskId, config: &BaselineConfig) {
+    run.state = St::Running;
+    run.remaining = 1;
+    run.scratch_done = run.spec.cost.scratch_bytes == 0;
+    let node_cores = cluster.engine.spec().node(run.node).cores;
+    let cap = if config.multithread_full_node {
+        node_cores
+    } else if config.slot_vcores > 0 {
+        config.slot_vcores
+    } else if config.slots_per_node == 0 {
+        node_cores
+    } else {
+        (node_cores / config.slots_per_node.max(1)).max(1)
+    };
+    let threads = run.spec.cost.threads.min(cap).max(1) as f64;
+    cluster.engine.start(
+        Activity::Compute { node: run.node, threads },
+        run.spec.cost.cpu_seconds,
+        Tag::Exec { wf: u32::MAX, task },
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn complete_task(
+    cluster: &mut Cluster,
+    tasks: &mut HashMap<TaskId, Run>,
+    task: TaskId,
+    free_slots: &mut HashMap<NodeId, u32>,
+    on_volume: &mut HashSet<String>,
+    config: &BaselineConfig,
+    placements: &mut Vec<(TaskId, NodeId)>,
+) {
+    let run = tasks.get_mut(&task).expect("known");
+    run.state = St::Done;
+    *free_slots.get_mut(&run.node).expect("slot") += 1;
+    placements.push((task, run.node));
+    for out in &run.spec.outputs {
+        match config.storage {
+            Storage::SharedVolume(_) => {
+                on_volume.insert(out.path.clone());
+            }
+            Storage::HdfsLocal => cluster.commit_file(&out.path),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiway_lang::ir::{OutputSpec, TaskCost};
+    use hiway_sim::{ClusterSpec, ExternalSpec, NodeSpec};
+
+    fn task(id: u64, name: &str, inputs: &[&str], outputs: &[(&str, u64)], cpu: f64) -> TaskSpec {
+        TaskSpec {
+            id: TaskId(id),
+            name: name.into(),
+            command: name.into(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs
+                .iter()
+                .map(|(p, s)| OutputSpec { path: p.to_string(), size: *s })
+                .collect(),
+            cost: TaskCost::new(cpu, 2, 256),
+        }
+    }
+
+    fn chain() -> StaticWorkflow {
+        StaticWorkflow::new(
+            "chain",
+            "test",
+            vec![
+                task(0, "a", &["/in"], &[("/m", 50 << 20)], 10.0),
+                task(1, "b", &["/m"], &[("/out", 1 << 20)], 10.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn tez_runs_a_chain_on_hdfs() {
+        let spec = ClusterSpec::homogeneous(3, "n", &NodeSpec::m3_large("p"));
+        let mut cluster = Cluster::new(spec, 1);
+        cluster.prestage("/in", 10 << 20);
+        let report = crate::baseline::run_tez(&mut cluster, chain()).unwrap();
+        assert_eq!(report.placements.len(), 2);
+        assert!(report.runtime_secs > 10.0);
+        assert!(cluster.hdfs.exists("/out"));
+    }
+
+    #[test]
+    fn cloudman_moves_everything_over_the_volume() {
+        let mut spec = ClusterSpec::homogeneous(2, "n", &NodeSpec::c3_2xlarge("p"));
+        let ebs = spec.add_external(ExternalSpec::ebs_shared());
+        let mut cluster = Cluster::new(spec, 2);
+        // Inputs live on the volume: register as external files.
+        cluster.register_external_file("/in", ebs, 500 << 20);
+        let report = crate::baseline::run_cloudman(&mut cluster, chain(), ebs).unwrap();
+        assert_eq!(report.placements.len(), 2);
+        // 500 MiB in at 62.5 MB/s cap (8.4 s) + compute + volume round
+        // trips for /m: distinctly slower than local-disk execution.
+        assert!(report.runtime_secs > 15.0, "{}", report.runtime_secs);
+        // Nothing was written to HDFS.
+        assert!(!cluster.hdfs.exists("/out"));
+    }
+
+    #[test]
+    fn cloudman_is_slower_than_tez_on_io_heavy_chain() {
+        // Same DAG, same node type; CloudMan pays the shared volume.
+        let heavy = || {
+            StaticWorkflow::new(
+                "io",
+                "test",
+                vec![
+                    task(0, "gen", &["/in"], &[("/big", 2 << 30)], 5.0),
+                    task(1, "use", &["/big"], &[("/done", 1 << 20)], 5.0),
+                ],
+            )
+        };
+        let spec = ClusterSpec::homogeneous(2, "n", &NodeSpec::c3_2xlarge("p"));
+        let mut tez_cluster = Cluster::new(spec, 3);
+        tez_cluster.prestage("/in", 64 << 20);
+        let tez = crate::baseline::run_tez(&mut tez_cluster, heavy()).unwrap();
+
+        let mut spec2 = ClusterSpec::homogeneous(2, "n", &NodeSpec::c3_2xlarge("p"));
+        let ebs = spec2.add_external(ExternalSpec::ebs_shared());
+        let mut cm_cluster = Cluster::new(spec2, 3);
+        cm_cluster.register_external_file("/in", ebs, 64 << 20);
+        let cm = crate::baseline::run_cloudman(&mut cm_cluster, heavy(), ebs).unwrap();
+
+        assert!(
+            cm.runtime_secs > tez.runtime_secs * 1.25,
+            "cloudman {} vs tez {}",
+            cm.runtime_secs,
+            tez.runtime_secs
+        );
+    }
+
+    #[test]
+    fn missing_input_is_a_deadlock_error() {
+        let spec = ClusterSpec::homogeneous(1, "n", &NodeSpec::m3_large("p"));
+        let mut cluster = Cluster::new(spec, 4);
+        let err = crate::baseline::run_tez(&mut cluster, chain()).unwrap_err();
+        assert!(err.contains("deadlocked"), "{err}");
+    }
+
+    #[test]
+    fn slots_limit_concurrency() {
+        // 4 independent 10s tasks, 1 node, 1 slot: strictly serial.
+        let tasks: Vec<TaskSpec> = (0..4)
+            .map(|i| task(i, "t", &[], &[(&format!("/o{i}"), 1), ], 10.0))
+            .collect();
+        let wf = StaticWorkflow::new("serial", "test", tasks);
+        let mut spec = ClusterSpec::homogeneous(1, "n", &NodeSpec::c3_2xlarge("p"));
+        let ebs = spec.add_external(ExternalSpec::ebs_shared());
+        let mut cluster = Cluster::new(spec, 5);
+        let report = crate::baseline::run_cloudman(&mut cluster, wf, ebs).unwrap();
+        // Each task runs alone: ~1 s startup + 10 CPU-s at 2 threads on a
+        // speed-1.15 node ≈ 4.3 s wall, strictly serialized → ≥ 4 × 5 s.
+        assert!(report.runtime_secs >= 20.0, "{}", report.runtime_secs);
+        assert!(report.runtime_secs < 40.0, "{}", report.runtime_secs);
+    }
+}
+
+#[cfg(test)]
+mod limit_tests {
+    use hiway_core::cluster::Cluster;
+    use hiway_lang::ir::{StaticWorkflow, TaskSpec, TaskId, TaskCost};
+    use hiway_sim::{ClusterSpec, ExternalSpec, NodeSpec};
+
+    #[test]
+    fn cloudman_refuses_clusters_beyond_twenty_nodes() {
+        let mut spec = ClusterSpec::homogeneous(21, "n", &NodeSpec::c3_2xlarge("p"));
+        let ebs = spec.add_external(ExternalSpec::ebs_shared());
+        let mut cluster = Cluster::new(spec, 1);
+        let wf = StaticWorkflow::new(
+            "x",
+            "test",
+            vec![TaskSpec {
+                id: TaskId(0),
+                name: "t".into(),
+                command: "t".into(),
+                inputs: vec![],
+                outputs: vec![],
+                cost: TaskCost::default(),
+            }],
+        );
+        let err = crate::baseline::run_cloudman(&mut cluster, wf, ebs).unwrap_err();
+        assert!(err.contains("20 nodes"), "{err}");
+    }
+}

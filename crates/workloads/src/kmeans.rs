@@ -1,0 +1,145 @@
+//! The iterative k-means workflow (paper §3.3).
+//!
+//! "Only by means of conditional task execution and unbounded iteration
+//! can this algorithm be implemented as a workflow" — the paper's own
+//! showcase of why Hi-WAY's execution model supports control flow. Each
+//! refinement round is a wave of parallel `assign` tasks (one per data
+//! partition) followed by an `update` step that recomputes the centroids
+//! and reports whether the clustering converged; the recursion continues
+//! until it did. Convergence is data-dependent: here the simulated
+//! `update` tool draws it with probability `convergence_prob` per round
+//! (deterministically seeded), standing in for the real residual test.
+
+/// Parameters of the k-means workflow.
+#[derive(Clone, Debug)]
+pub struct KmeansParams {
+    /// Parallel data partitions per assignment wave.
+    pub partitions: usize,
+    /// Bytes per partition of input points.
+    pub bytes_per_partition: u64,
+    /// CPU-seconds per byte for the assignment step.
+    pub assign_cpu_per_byte: f64,
+    /// CPU-seconds for the centroid update step.
+    pub update_cpu: f64,
+    /// Probability that a round declares convergence.
+    pub convergence_prob: f64,
+    /// Hard cap on rounds (safety net, like a max-iterations flag).
+    pub max_rounds: u32,
+}
+
+impl Default for KmeansParams {
+    fn default() -> KmeansParams {
+        KmeansParams {
+            partitions: 8,
+            bytes_per_partition: 64 << 20,
+            assign_cpu_per_byte: 2.0e-7,
+            update_cpu: 10.0,
+            convergence_prob: 0.35,
+            max_rounds: 25,
+        }
+    }
+}
+
+impl KmeansParams {
+    /// Input partitions to stage: `(path, size)`.
+    pub fn input_files(&self) -> Vec<(String, u64)> {
+        (0..self.partitions)
+            .map(|p| (format!("/kmeans/points_{p}.dat"), self.bytes_per_partition))
+            .collect()
+    }
+
+    /// Emits the Cuneiform source.
+    pub fn cuneiform_source(&self) -> String {
+        let parts: Vec<String> = (0..self.partitions)
+            .map(|p| format!("file(\"/kmeans/points_{p}.dat\", {})", self.bytes_per_partition))
+            .collect();
+        format!(
+            r#"% iterative k-means clustering (paper section 3.3)
+deftask assign( out("/kmeans/assigned_{{2}}_{{0}}.dat", mul(insize(points), 0.05)) : points cents round )
+  cpu mul(insize(points), {assign}) threads 2 mem 2000;
+deftask update( out("/kmeans/cents_{{round}}.dat", 65536) : [assigned] round )
+  cpu {update} threads 1 mem 1000
+  yield if ge(round, {max_rounds}) then 1 else prob({conv});
+defun iterate( points, cents, round ) =
+  let assigned = assign(points, cents, round);
+  let next = update(assigned, round);
+  if val(next) then next else iterate(points, next, add(round, 1));
+let points = [{parts}];
+let cents0 = file("/kmeans/cents_init.dat", 65536);
+target iterate(points, cents0, 1);
+"#,
+            assign = self.assign_cpu_per_byte,
+            update = self.update_cpu,
+            conv = self.convergence_prob,
+            max_rounds = self.max_rounds,
+            parts = parts.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiway_lang::cuneiform::CuneiformWorkflow;
+    use hiway_lang::ir::WorkflowSource;
+
+    #[test]
+    fn first_round_is_one_wave_plus_update() {
+        let params = KmeansParams::default();
+        let mut wf = CuneiformWorkflow::parse("kmeans", &params.cuneiform_source(), 9).unwrap();
+        let tasks = wf.initial_tasks().unwrap();
+        // 8 assigns + 1 update; the conditional blocks further discovery.
+        assert_eq!(tasks.len(), 9);
+        assert!(!wf.is_complete());
+        let update = tasks.iter().find(|t| t.name == "update").unwrap();
+        assert_eq!(update.inputs.len(), 8);
+    }
+
+    #[test]
+    fn iterates_until_convergence_and_terminates() {
+        let params = KmeansParams::default();
+        let mut wf = CuneiformWorkflow::parse("kmeans", &params.cuneiform_source(), 4).unwrap();
+        let mut pending = wf.initial_tasks().unwrap();
+        let mut executed = 0;
+        let mut rounds = 0;
+        while !pending.is_empty() {
+            rounds += 1;
+            assert!(rounds <= 40 * 9, "must converge");
+            let mut newly = Vec::new();
+            for t in pending.drain(..) {
+                executed += 1;
+                newly.extend(wf.on_task_completed(t.id).unwrap());
+            }
+            pending = newly;
+        }
+        assert!(wf.is_complete());
+        // At least one full round ran; waves are 9 tasks each.
+        assert!(executed >= 9);
+        assert_eq!(executed % 9, 0, "whole rounds of 8 assigns + 1 update");
+    }
+
+    #[test]
+    fn max_rounds_caps_the_recursion() {
+        let params = KmeansParams {
+            convergence_prob: 0.0, // never converges on its own
+            max_rounds: 3,
+            partitions: 2,
+            ..Default::default()
+        };
+        let mut wf = CuneiformWorkflow::parse("kmeans", &params.cuneiform_source(), 1).unwrap();
+        let mut pending = wf.initial_tasks().unwrap();
+        let mut waves = 0;
+        while !pending.is_empty() {
+            waves += 1;
+            assert!(waves < 100);
+            let mut newly = Vec::new();
+            for t in pending.drain(..) {
+                newly.extend(wf.on_task_completed(t.id).unwrap());
+            }
+            pending = newly;
+        }
+        assert!(wf.is_complete());
+        // Rounds 1, 2, 3 → three update outputs.
+        assert_eq!(waves, 3, "terminated by the max_rounds cap");
+    }
+}

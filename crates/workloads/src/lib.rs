@@ -1,0 +1,31 @@
+//! # hiway-workloads — the paper's workloads, infrastructures, baselines
+//!
+//! Generators for the four real-life workflows of the evaluation
+//! (Section 4), each emitted in the *language the paper ran it in* so the
+//! corresponding front-end is exercised end to end:
+//!
+//! * [`snv`] — the single-nucleotide-variant calling workflow (genomics),
+//!   written in Cuneiform; used in both scalability experiments (§4.1).
+//! * [`rnaseq`] — the TRAPLINE RNA-seq workflow (bioinformatics), exported
+//!   from Galaxy as `.ga` JSON; used in the performance experiment (§4.2).
+//! * [`montage`] — the Montage mosaic workflow (astronomy), generated as
+//!   Pegasus DAX XML; used in the adaptive-scheduling experiment (§4.3).
+//! * [`kmeans`] — the iterative k-means workflow from §3.3, in Cuneiform.
+//!
+//! [`profiles`] builds the paper's infrastructures (the 24-node Xeon
+//! cluster behind a single 1 GbE switch, EC2 m3.large / c3.2xlarge virtual
+//! clusters with dedicated master nodes, S3 and EBS services), and
+//! [`baseline`] implements the two comparison systems: an Apache-Tez-like
+//! DAG engine (placement-agnostic) and Galaxy CloudMan (all storage on a
+//! shared network-attached EBS volume).
+//!
+//! Task cost models are calibrated against the runtimes the paper itself
+//! reports (e.g. ~340 min for one 8 GB sample on one m3.large worker in
+//! Table 2); see `DESIGN.md` for the calibration table.
+
+pub mod baseline;
+pub mod kmeans;
+pub mod montage;
+pub mod profiles;
+pub mod rnaseq;
+pub mod snv;

@@ -1,0 +1,215 @@
+//! The Montage astronomy workflow (paper §4.3, Figure 9).
+//!
+//! Montage (Berriman et al. 2004) assembles a mosaic image of a patch of
+//! sky — here the 0.25-degree Omega Nebula mosaic of the paper — through
+//! a fixed pipeline: raw telescope images are re-projected onto a common
+//! plane (`mProjectPP`, the first parallel wave), overlapping pairs are
+//! compared (`mDiffFit`), the fits are concatenated (`mConcatFit`) and a
+//! background model solved (`mBgModel`), each projected image is
+//! background-corrected (`mBackground`, the second parallel wave), and
+//! the corrected images are tabulated (`mImgtbl`), co-added into the
+//! mosaic (`mAdd`), shrunk (`mShrink`), and rendered (`mJPEG`).
+//!
+//! A degree of 0.25 yields "a comparably small workflow with a maximum
+//! degree of parallelism of eleven during the image projection and
+//! background radiation correction phases". The generator emits Pegasus
+//! DAX XML, exercising that front-end, with task runtimes in the tens of
+//! seconds as in the paper's Figure 9 (whole runs of 100–350 s).
+
+/// Parameters of a Montage run.
+#[derive(Clone, Debug)]
+pub struct MontageParams {
+    /// Images in the projection/correction waves (11 at degree 0.25).
+    pub images: usize,
+    /// Bytes per raw/projected image.
+    pub image_bytes: u64,
+    /// Uniform scale on all task runtimes.
+    pub runtime_scale: f64,
+}
+
+impl Default for MontageParams {
+    fn default() -> MontageParams {
+        MontageParams {
+            images: 11,
+            image_bytes: 4 << 20,
+            runtime_scale: 1.0,
+        }
+    }
+}
+
+impl MontageParams {
+    /// Raw input images to stage: `(path, size)`.
+    pub fn input_files(&self) -> Vec<(String, u64)> {
+        (0..self.images)
+            .map(|i| (format!("raw/image_{i}.fits"), self.image_bytes))
+            .collect()
+    }
+
+    /// Emits the DAX document.
+    pub fn dax_source(&self) -> String {
+        let n = self.images;
+        let img = self.image_bytes;
+        let rt = |base: f64| base * self.runtime_scale;
+        let mut jobs = Vec::new();
+        let mut edges: Vec<(String, String)> = Vec::new();
+
+        // Projection wave.
+        for i in 0..n {
+            jobs.push(format!(
+                r#"<job id="proj{i}" name="mProjectPP" runtime="{}" threads="1" memory="1024">
+  <argument>-X raw/image_{i}.fits</argument>
+  <uses file="raw/image_{i}.fits" link="input" size="{img}"/>
+  <uses file="work/proj_{i}.fits" link="output" size="{img}"/>
+</job>"#,
+                rt(18.0)
+            ));
+        }
+        // Difference fits between neighbouring images.
+        for i in 0..n.saturating_sub(1) {
+            let j = i + 1;
+            jobs.push(format!(
+                r#"<job id="diff{i}" name="mDiffFit" runtime="{}" threads="1" memory="512">
+  <uses file="work/proj_{i}.fits" link="input" size="{img}"/>
+  <uses file="work/proj_{j}.fits" link="input" size="{img}"/>
+  <uses file="work/fit_{i}.txt" link="output" size="8192"/>
+</job>"#,
+                rt(8.0)
+            ));
+            edges.push((format!("proj{i}"), format!("diff{i}")));
+            edges.push((format!("proj{j}"), format!("diff{i}")));
+        }
+        // Concatenate fit results.
+        let fit_uses: String = (0..n.saturating_sub(1))
+            .map(|i| format!(r#"  <uses file="work/fit_{i}.txt" link="input" size="8192"/>"#))
+            .collect::<Vec<_>>()
+            .join("\n");
+        jobs.push(format!(
+            r#"<job id="concat" name="mConcatFit" runtime="{}" threads="1" memory="512">
+{fit_uses}
+  <uses file="work/fits.tbl" link="output" size="65536"/>
+</job>"#,
+            rt(2.0)
+        ));
+        // Background model.
+        jobs.push(format!(
+            r#"<job id="bgmodel" name="mBgModel" runtime="{}" threads="1" memory="1024">
+  <uses file="work/fits.tbl" link="input" size="65536"/>
+  <uses file="work/corrections.tbl" link="output" size="16384"/>
+</job>"#,
+            rt(5.0)
+        ));
+        // Correction wave.
+        for i in 0..n {
+            jobs.push(format!(
+                r#"<job id="bg{i}" name="mBackground" runtime="{}" threads="1" memory="1024">
+  <uses file="work/proj_{i}.fits" link="input" size="{img}"/>
+  <uses file="work/corrections.tbl" link="input" size="16384"/>
+  <uses file="work/bg_{i}.fits" link="output" size="{img}"/>
+</job>"#,
+                rt(10.0)
+            ));
+        }
+        // Image table, co-addition, shrink, render.
+        let bg_uses: String = (0..n)
+            .map(|i| format!(r#"  <uses file="work/bg_{i}.fits" link="input" size="{img}"/>"#))
+            .collect::<Vec<_>>()
+            .join("\n");
+        jobs.push(format!(
+            r#"<job id="imgtbl" name="mImgtbl" runtime="{}" threads="1" memory="512">
+{bg_uses}
+  <uses file="work/images.tbl" link="output" size="32768"/>
+</job>"#,
+            rt(2.0)
+        ));
+        let mosaic = img * n as u64;
+        jobs.push(format!(
+            r#"<job id="madd" name="mAdd" runtime="{}" threads="1" memory="2048">
+{bg_uses}
+  <uses file="work/images.tbl" link="input" size="32768"/>
+  <uses file="work/mosaic.fits" link="output" size="{mosaic}"/>
+</job>"#,
+            rt(8.0)
+        ));
+        jobs.push(format!(
+            r#"<job id="shrink" name="mShrink" runtime="{}" threads="1" memory="1024">
+  <uses file="work/mosaic.fits" link="input" size="{mosaic}"/>
+  <uses file="work/shrunken.fits" link="output" size="{img}"/>
+</job>"#,
+            rt(4.0)
+        ));
+        jobs.push(format!(
+            r#"<job id="jpeg" name="mJPEG" runtime="{}" threads="1" memory="512">
+  <uses file="work/shrunken.fits" link="input" size="{img}"/>
+  <uses file="out/mosaic.jpg" link="output" size="1048576"/>
+</job>"#,
+            rt(2.0)
+        ));
+
+        let children: String = edges
+            .iter()
+            .map(|(p, c)| format!(r#"<child ref="{c}"><parent ref="{p}"/></child>"#))
+            .collect::<Vec<_>>()
+            .join("\n");
+
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<adag name=\"montage-omega-0.25\">\n{}\n{}\n</adag>\n",
+            jobs.join("\n"),
+            children
+        )
+    }
+
+    /// Total task count.
+    pub fn expected_tasks(&self) -> usize {
+        // proj + diff + concat + bgmodel + bg + imgtbl + add + shrink + jpeg
+        self.images + (self.images - 1) + 2 + self.images + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiway_lang::dax::parse_dax;
+    use hiway_lang::ir::WorkflowSource;
+
+    #[test]
+    fn generated_dax_parses() {
+        let params = MontageParams::default();
+        let wf = parse_dax(&params.dax_source()).unwrap();
+        assert_eq!(wf.name, "montage-omega-0.25");
+        assert_eq!(wf.tasks.len(), params.expected_tasks());
+        assert_eq!(wf.tasks.len(), 38);
+        let count = |n: &str| wf.tasks.iter().filter(|t| t.name == n).count();
+        assert_eq!(count("mProjectPP"), 11);
+        assert_eq!(count("mDiffFit"), 10);
+        assert_eq!(count("mBackground"), 11);
+        assert_eq!(count("mAdd"), 1);
+    }
+
+    #[test]
+    fn parallelism_is_eleven_in_the_projection_wave() {
+        let params = MontageParams::default();
+        let mut wf = parse_dax(&params.dax_source()).unwrap();
+        let tasks = wf.initial_tasks().unwrap();
+        let roots = tasks
+            .iter()
+            .filter(|t| t.inputs.iter().all(|i| i.starts_with("raw/")))
+            .count();
+        assert_eq!(roots, 11);
+    }
+
+    #[test]
+    fn external_inputs_are_the_raw_images() {
+        let params = MontageParams::default();
+        let wf = parse_dax(&params.dax_source()).unwrap();
+        assert_eq!(wf.external_inputs().len(), 11);
+        assert_eq!(params.input_files().len(), 11);
+    }
+
+    #[test]
+    fn runtime_scale_multiplies_costs() {
+        let params = MontageParams { runtime_scale: 3.0, ..Default::default() };
+        let wf = parse_dax(&params.dax_source()).unwrap();
+        let proj = wf.tasks.iter().find(|t| t.name == "mProjectPP").unwrap();
+        assert_eq!(proj.cost.cpu_seconds, 54.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! The TRAPLINE RNA-seq workflow (paper §4.2, Figure 7/8).
+//!
+//! Trapnell et al.'s tuxedo protocol, as standardized by Wolfien et al.'s
+//! TRAPLINE pipeline and published in Galaxy's workflow repository: reads
+//! from two conditions (young vs. aged mice, GEO series GSE62762), each in
+//! triplicate, are aligned with **TopHat 2** (backed by Bowtie 2),
+//! transcripts are assembled and quantified per replicate with
+//! **Cufflinks**, merged with **Cuffmerge**, and differentially compared
+//! with **Cuffdiff**. With three replicates per condition and mostly
+//! sequential per-replicate chains, "the workflow, without any manual
+//! alterations, has a degree of parallelism of six across most of its
+//! parts".
+//!
+//! The generator emits the exported-Galaxy `.ga` JSON (exercising the
+//! Galaxy front-end), the input bindings, and the tool cost profiles.
+//! Costs are calibrated so one c3.2xlarge worker runs the whole thing in
+//! ≈230 minutes and six workers in ≈57 (Figure 8's Hi-WAY bars).
+
+use std::collections::HashMap;
+
+use hiway_lang::galaxy::{BoundInput, ToolProfile, ToolProfiles};
+
+/// Parameters of a TRAPLINE instance.
+#[derive(Clone, Debug)]
+pub struct RnaseqParams {
+    /// Replicates per condition (the paper's data has 3).
+    pub replicates_per_condition: usize,
+    /// Bytes of reads per replicate (~1.7 GB; >10 GB over all six).
+    pub bytes_per_replicate: u64,
+    /// Reference genome size in bytes.
+    pub genome_bytes: u64,
+}
+
+impl Default for RnaseqParams {
+    fn default() -> RnaseqParams {
+        RnaseqParams {
+            replicates_per_condition: 3,
+            bytes_per_replicate: 1_700 << 20,
+            genome_bytes: 2_800 << 20,
+        }
+    }
+}
+
+impl RnaseqParams {
+    pub fn lanes(&self) -> usize {
+        2 * self.replicates_per_condition
+    }
+
+    /// The `.ga` JSON of the exported workflow.
+    pub fn galaxy_json(&self) -> String {
+        let lanes = self.lanes();
+        let mut steps = Vec::new();
+        // Step 0: the reference genome input port.
+        steps.push(r#""0": {"id": 0, "type": "data_input", "label": "genome",
+                 "inputs": [{"name": "genome"}], "input_connections": {}, "outputs": []}"#.to_string());
+        // Steps 1..=lanes: one reads input port per replicate.
+        for lane in 0..lanes {
+            let id = 1 + lane;
+            steps.push(format!(
+                r#""{id}": {{"id": {id}, "type": "data_input", "label": "reads_{lane}",
+                     "inputs": [{{"name": "reads_{lane}"}}], "input_connections": {{}}, "outputs": []}}"#
+            ));
+        }
+        // TopHat2 per lane.
+        let tophat_base = 1 + lanes;
+        for lane in 0..lanes {
+            let id = tophat_base + lane;
+            let reads_id = 1 + lane;
+            steps.push(format!(
+                r#""{id}": {{"id": {id}, "type": "tool",
+                     "tool_id": "toolshed.g2.bx.psu.edu/repos/devteam/tophat2/tophat2/2.1.0",
+                     "input_connections": {{
+                        "input1": {{"id": {reads_id}, "output_name": "output"}},
+                        "reference": {{"id": 0, "output_name": "output"}}}},
+                     "outputs": [{{"name": "accepted_hits", "type": "bam"}}]}}"#
+            ));
+        }
+        // Cufflinks per lane.
+        let cufflinks_base = tophat_base + lanes;
+        for lane in 0..lanes {
+            let id = cufflinks_base + lane;
+            let hits_id = tophat_base + lane;
+            steps.push(format!(
+                r#""{id}": {{"id": {id}, "type": "tool",
+                     "tool_id": "toolshed.g2.bx.psu.edu/repos/devteam/cufflinks/cufflinks/2.2.1",
+                     "input_connections": {{
+                        "input": {{"id": {hits_id}, "output_name": "accepted_hits"}}}},
+                     "outputs": [{{"name": "transcripts", "type": "gtf"}}]}}"#
+            ));
+        }
+        // Cuffmerge over all lanes' transcripts.
+        let merge_id = cufflinks_base + lanes;
+        let merge_conns: Vec<String> = (0..lanes)
+            .map(|lane| {
+                format!(
+                    r#"{{"id": {}, "output_name": "transcripts"}}"#,
+                    cufflinks_base + lane
+                )
+            })
+            .collect();
+        steps.push(format!(
+            r#""{merge_id}": {{"id": {merge_id}, "type": "tool",
+                 "tool_id": "toolshed.g2.bx.psu.edu/repos/devteam/cuffmerge/cuffmerge/2.2.1",
+                 "input_connections": {{"inputs": [{}]}},
+                 "outputs": [{{"name": "merged_transcripts", "type": "gtf"}}]}}"#,
+            merge_conns.join(", ")
+        ));
+        // Cuffdiff: merged transcripts + every lane's hits.
+        let diff_id = merge_id + 1;
+        let hit_conns: Vec<String> = (0..lanes)
+            .map(|lane| {
+                format!(
+                    r#"{{"id": {}, "output_name": "accepted_hits"}}"#,
+                    tophat_base + lane
+                )
+            })
+            .collect();
+        steps.push(format!(
+            r#""{diff_id}": {{"id": {diff_id}, "type": "tool",
+                 "tool_id": "toolshed.g2.bx.psu.edu/repos/devteam/cuffdiff/cuffdiff/2.2.1",
+                 "input_connections": {{
+                    "transcripts": {{"id": {merge_id}, "output_name": "merged_transcripts"}},
+                    "hits": [{}]}},
+                 "outputs": [{{"name": "differential_expression", "type": "tabular"}}]}}"#,
+            hit_conns.join(", ")
+        ));
+
+        format!(
+            "{{\n\"a_galaxy_workflow\": \"true\",\n\"name\": \"TRAPLINE\",\n\"steps\": {{\n{}\n}}\n}}",
+            steps.join(",\n")
+        )
+    }
+
+    /// Input port bindings: the staged HDFS paths of genome and reads.
+    pub fn input_bindings(&self) -> HashMap<String, BoundInput> {
+        let mut m = HashMap::new();
+        m.insert(
+            "genome".to_string(),
+            BoundInput { path: "/ref/genome.fa".to_string(), size: self.genome_bytes },
+        );
+        for lane in 0..self.lanes() {
+            m.insert(
+                format!("reads_{lane}"),
+                BoundInput {
+                    path: format!("/geo/GSE62762/reads_{lane}.fq"),
+                    size: self.bytes_per_replicate,
+                },
+            );
+        }
+        m
+    }
+
+    /// Files to stage before execution: `(path, size)`.
+    pub fn input_files(&self) -> Vec<(String, u64)> {
+        self.input_bindings()
+            .into_values()
+            .map(|b| (b.path, b.size))
+            .collect()
+    }
+
+    /// Tool cost profiles calibrated against Figure 8: on one 8-core
+    /// c3.2xlarge with one task at a time, the whole workflow takes about
+    /// 230 minutes; on six nodes (parallelism 6) about 57.
+    pub fn tool_profiles(&self) -> ToolProfiles {
+        let mut p = ToolProfiles::default();
+        // TopHat2: heavily multi-threaded, CPU-bound, writes large
+        // intermediates (accepted_hits ≈ 1.2× reads — the "large amounts
+        // of intermediate files" Figure 8's analysis points at).
+        p.insert(
+            "tophat2",
+            ToolProfile {
+                cpu_fixed: 600.0,
+                cpu_per_byte: 2.2e-6,
+                threads: 8,
+                memory_mb: 12_000,
+                output_factor: 0.26,  // hits vs reads+genome input
+                scratch_factor: 8.0,  // TopHat temp files, several times the input
+            },
+        );
+        p.insert(
+            "cufflinks",
+            ToolProfile {
+                cpu_fixed: 300.0,
+                cpu_per_byte: 3.6e-6,
+                threads: 8,
+                memory_mb: 8_000,
+                output_factor: 0.02,
+                scratch_factor: 1.0,
+            },
+        );
+        p.insert(
+            "cuffmerge",
+            ToolProfile {
+                cpu_fixed: 120.0,
+                cpu_per_byte: 1.0e-6,
+                threads: 1,
+                memory_mb: 4_000,
+                output_factor: 1.0,
+                scratch_factor: 0.0,
+            },
+        );
+        p.insert(
+            "cuffdiff",
+            ToolProfile {
+                cpu_fixed: 1200.0,
+                cpu_per_byte: 2.0e-6,
+                threads: 8,
+                memory_mb: 12_000,
+                output_factor: 0.001,
+                scratch_factor: 2.0,
+            },
+        );
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiway_lang::galaxy::parse_galaxy;
+    use hiway_lang::ir::WorkflowSource;
+
+    #[test]
+    fn generated_ga_parses_with_six_lanes() {
+        let params = RnaseqParams::default();
+        let wf = parse_galaxy(
+            &params.galaxy_json(),
+            &params.input_bindings(),
+            &params.tool_profiles(),
+        )
+        .unwrap();
+        assert_eq!(wf.name, "TRAPLINE");
+        // 6 tophat + 6 cufflinks + cuffmerge + cuffdiff.
+        assert_eq!(wf.tasks.len(), 14);
+        let count = |n: &str| wf.tasks.iter().filter(|t| t.name == n).count();
+        assert_eq!(count("tophat2"), 6);
+        assert_eq!(count("cufflinks"), 6);
+        assert_eq!(count("cuffmerge"), 1);
+        assert_eq!(count("cuffdiff"), 1);
+    }
+
+    #[test]
+    fn degree_of_parallelism_is_six() {
+        let params = RnaseqParams::default();
+        let mut wf = parse_galaxy(
+            &params.galaxy_json(),
+            &params.input_bindings(),
+            &params.tool_profiles(),
+        )
+        .unwrap();
+        let tasks = wf.initial_tasks().unwrap();
+        // The six tophat2 tasks depend only on workflow inputs: all six
+        // are immediately runnable.
+        let roots = tasks
+            .iter()
+            .filter(|t| t.inputs.iter().all(|i| i.starts_with("/ref") || i.starts_with("/geo")))
+            .count();
+        assert_eq!(roots, 6);
+    }
+
+    #[test]
+    fn cuffdiff_joins_everything() {
+        let params = RnaseqParams::default();
+        let wf = parse_galaxy(
+            &params.galaxy_json(),
+            &params.input_bindings(),
+            &params.tool_profiles(),
+        )
+        .unwrap();
+        let diff = wf.tasks.iter().find(|t| t.name == "cuffdiff").unwrap();
+        assert_eq!(diff.inputs.len(), 7, "merged transcripts + 6 hit files");
+    }
+
+    #[test]
+    fn single_node_cpu_budget_matches_fig8() {
+        // Wall-clock estimate on one 8-core node running one task at a
+        // time: Figure 8 reports 232 minutes for Hi-WAY.
+        let params = RnaseqParams::default();
+        let profiles = params.tool_profiles();
+        let reads = params.bytes_per_replicate as f64;
+        let genome = params.genome_bytes as f64;
+        let tophat = profiles.lookup("tophat2");
+        let tophat_cpu = tophat.cpu_fixed + tophat.cpu_per_byte * (reads + genome);
+        let hits = (reads + genome) * tophat.output_factor;
+        let cuff = profiles.lookup("cufflinks");
+        let cufflinks_cpu = cuff.cpu_fixed + cuff.cpu_per_byte * hits;
+        let merge = profiles.lookup("cuffmerge");
+        let merge_cpu = merge.cpu_fixed; // tiny inputs
+        let diff = profiles.lookup("cuffdiff");
+        let diff_cpu = diff.cpu_fixed + diff.cpu_per_byte * (6.0 * hits);
+        let wall_mins =
+            (6.0 * (tophat_cpu + cufflinks_cpu) / 8.0 + merge_cpu + diff_cpu / 8.0) / 60.0;
+        assert!(
+            (180.0..280.0).contains(&wall_mins),
+            "calibration drifted: {wall_mins:.1} min"
+        );
+    }
+
+    #[test]
+    fn input_files_cover_all_ports() {
+        let params = RnaseqParams::default();
+        assert_eq!(params.input_files().len(), 7);
+        let total: u64 = params.input_files().iter().map(|(_, s)| *s).sum();
+        assert!(total > 10 << 30, "more than 10 GB in total");
+    }
+}

@@ -1,0 +1,377 @@
+//! The ResourceManager: node capacity tracking and FIFO container
+//! allocation with optional strict placement.
+
+use std::collections::BTreeMap;
+
+use hiway_sim::{ClusterSpec, NodeId};
+
+use crate::types::{AppId, Container, ContainerId, ContainerRequest, RequestId, Resource};
+
+/// RM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RmConfig {
+    /// Capacity advertised by each NodeManager, as a fraction of the
+    /// node's physical cores/memory (YARN reserves headroom for the OS
+    /// and the NM itself; 1.0 hands everything to containers, which is
+    /// how the paper's experiments were configured).
+    pub capacity_fraction: f64,
+}
+
+impl Default for RmConfig {
+    fn default() -> RmConfig {
+        RmConfig { capacity_fraction: 1.0 }
+    }
+}
+
+struct NodeState {
+    total: Resource,
+    available: Resource,
+    alive: bool,
+}
+
+struct PendingRequest {
+    app: AppId,
+    request: ContainerRequest,
+}
+
+/// The simulated ResourceManager.
+pub struct ResourceManager {
+    nodes: Vec<NodeState>,
+    /// FIFO queue of pending requests across all applications.
+    queue: BTreeMap<u64, PendingRequest>,
+    containers: BTreeMap<u64, Container>,
+    next_request: u64,
+    next_container: u64,
+    next_app: u32,
+    apps: Vec<String>,
+    /// Round-robin pointer so relaxed requests spread across the cluster
+    /// instead of piling onto node 0.
+    spread_cursor: usize,
+}
+
+impl ResourceManager {
+    /// Builds an RM from the cluster hardware description: one NodeManager
+    /// per node.
+    pub fn new(spec: &ClusterSpec, config: RmConfig) -> ResourceManager {
+        let nodes = spec
+            .nodes
+            .iter()
+            .map(|n| {
+                let total = Resource::new(
+                    ((n.cores as f64) * config.capacity_fraction).floor().max(1.0) as u32,
+                    ((n.memory_mb as f64) * config.capacity_fraction).floor() as u64,
+                );
+                NodeState {
+                    total,
+                    available: total,
+                    alive: true,
+                }
+            })
+            .collect();
+        ResourceManager {
+            nodes,
+            queue: BTreeMap::new(),
+            containers: BTreeMap::new(),
+            next_request: 0,
+            next_container: 0,
+            next_app: 0,
+            apps: Vec::new(),
+            spread_cursor: 0,
+        }
+    }
+
+    /// Registers an application (a Hi-WAY AM about to start). The AM's own
+    /// container is requested like any other via [`Self::request`].
+    pub fn submit_app(&mut self, name: impl Into<String>) -> AppId {
+        let id = AppId(self.next_app);
+        self.next_app += 1;
+        self.apps.push(name.into());
+        id
+    }
+
+    pub fn app_name(&self, app: AppId) -> &str {
+        &self.apps[app.0 as usize]
+    }
+
+    /// Enqueues a container request; allocation happens on the next
+    /// [`Self::allocate`] (the AM–RM heartbeat).
+    pub fn request(&mut self, app: AppId, request: ContainerRequest) -> RequestId {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        self.queue.insert(id.0, PendingRequest { app, request });
+        id
+    }
+
+    /// Withdraws a pending request (e.g. the workflow finished early).
+    pub fn cancel_request(&mut self, id: RequestId) -> bool {
+        self.queue.remove(&id.0).is_some()
+    }
+
+    pub fn pending_requests(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// One allocation round: walks the FIFO queue and hands out containers
+    /// wherever capacity (and placement constraints) permit. Requests that
+    /// cannot be satisfied stay queued. Returns the new containers.
+    pub fn allocate(&mut self) -> Vec<Container> {
+        let mut granted = Vec::new();
+        let ids: Vec<u64> = self.queue.keys().copied().collect();
+        for id in ids {
+            let request = self.queue[&id].request;
+            if let Some(node) = self.find_node(&request) {
+                let pending = self.queue.remove(&id).expect("still queued");
+                self.nodes[node.index()]
+                    .available
+                    .subtract(&pending.request.resource);
+                let cid = ContainerId(self.next_container);
+                self.next_container += 1;
+                let container = Container {
+                    id: cid,
+                    app: pending.app,
+                    node,
+                    resource: pending.request.resource,
+                    request: RequestId(id),
+                };
+                self.containers.insert(cid.0, container);
+                granted.push(container);
+            }
+        }
+        granted
+    }
+
+    fn find_node(&mut self, request: &ContainerRequest) -> Option<NodeId> {
+        let fits = |state: &NodeState| state.alive && state.available.fits(&request.resource);
+        if let Some(pref) = request.preference {
+            if pref.index() < self.nodes.len() && fits(&self.nodes[pref.index()]) {
+                return Some(pref);
+            }
+            if !request.relax_locality {
+                return None; // strict placement waits for the exact node
+            }
+        }
+        // Relaxed: round-robin over the cluster for an even spread.
+        let n = self.nodes.len();
+        for offset in 0..n {
+            let idx = (self.spread_cursor + offset) % n;
+            if fits(&self.nodes[idx]) {
+                self.spread_cursor = (idx + 1) % n;
+                return Some(NodeId(idx as u32));
+            }
+        }
+        None
+    }
+
+    /// Returns a container's lease to the pool (task finished or killed).
+    pub fn release(&mut self, id: ContainerId) -> Option<Container> {
+        let container = self.containers.remove(&id.0)?;
+        let state = &mut self.nodes[container.node.index()];
+        if state.alive {
+            state.available.add(&container.resource);
+        }
+        Some(container)
+    }
+
+    /// Marks a node dead and returns the containers that were running on
+    /// it — the owning AMs must be told their tasks are gone.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<Container> {
+        let state = &mut self.nodes[node.index()];
+        state.alive = false;
+        state.available = Resource::ZERO;
+        let killed: Vec<Container> = self
+            .containers
+            .values()
+            .filter(|c| c.node == node)
+            .copied()
+            .collect();
+        for c in &killed {
+            self.containers.remove(&c.id.0);
+        }
+        killed
+    }
+
+    /// Overrides a node's advertised capacity (e.g. to dedicate a node to
+    /// master processes or to exactly one AM container). Must be called
+    /// before any containers are allocated on the node.
+    pub fn set_capacity(&mut self, node: NodeId, capacity: Resource) {
+        let state = &mut self.nodes[node.index()];
+        assert!(
+            state.available == state.total,
+            "set_capacity with containers outstanding on node {}",
+            node.0
+        );
+        state.total = capacity;
+        state.available = capacity;
+    }
+
+    /// Returns a node to service with full (empty) capacity.
+    pub fn revive_node(&mut self, node: NodeId) {
+        let state = &mut self.nodes[node.index()];
+        if !state.alive {
+            state.alive = true;
+            state.available = state.total;
+        }
+    }
+
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].alive
+    }
+
+    pub fn available(&self, node: NodeId) -> Resource {
+        self.nodes[node.index()].available
+    }
+
+    pub fn total(&self, node: NodeId) -> Resource {
+        self.nodes[node.index()].total
+    }
+
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id.0)
+    }
+
+    pub fn running_containers(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Alive nodes, in id order.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiway_sim::{ClusterSpec, NodeSpec};
+
+    fn rm(nodes: usize) -> ResourceManager {
+        let spec = ClusterSpec::homogeneous(nodes, "n", &NodeSpec::m3_large("p"));
+        ResourceManager::new(&spec, RmConfig::default())
+    }
+
+    fn one_core() -> Resource {
+        Resource::new(1, 1000)
+    }
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let mut r = rm(1); // m3.large: 2 vcores, 7500 MB
+        let app = r.submit_app("wf");
+        for _ in 0..3 {
+            r.request(app, ContainerRequest::anywhere(one_core()));
+        }
+        let got = r.allocate();
+        assert_eq!(got.len(), 2, "only two cores available");
+        assert_eq!(r.pending_requests(), 1);
+        // Releasing one frees capacity for the queued request.
+        r.release(got[0].id);
+        assert_eq!(r.allocate().len(), 1);
+    }
+
+    #[test]
+    fn memory_limits_bind_too() {
+        let mut r = rm(1);
+        let app = r.submit_app("wf");
+        // Two 1-core/6000MB asks: only one fits in 7500 MB.
+        for _ in 0..2 {
+            r.request(app, ContainerRequest::anywhere(Resource::new(1, 6000)));
+        }
+        assert_eq!(r.allocate().len(), 1);
+    }
+
+    #[test]
+    fn relaxed_requests_spread_round_robin() {
+        let mut r = rm(4);
+        let app = r.submit_app("wf");
+        for _ in 0..4 {
+            r.request(app, ContainerRequest::anywhere(one_core()));
+        }
+        let got = r.allocate();
+        let mut nodes: Vec<u32> = got.iter().map(|c| c.node.0).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn strict_placement_waits_for_its_node() {
+        let mut r = rm(2);
+        let app = r.submit_app("wf");
+        // Fill node 0 completely.
+        r.request(app, ContainerRequest::pinned(Resource::new(2, 7000), NodeId(0)));
+        assert_eq!(r.allocate().len(), 1);
+        // A strict request for node 0 must wait even though node 1 is free.
+        let rid = r.request(app, ContainerRequest::pinned(one_core(), NodeId(0)));
+        assert!(r.allocate().is_empty());
+        assert_eq!(r.pending_requests(), 1);
+        // A relaxed request with the same preference falls back to node 1.
+        r.cancel_request(rid);
+        r.request(
+            app,
+            ContainerRequest {
+                resource: one_core(),
+                preference: Some(NodeId(0)),
+                relax_locality: true,
+            },
+        );
+        let got = r.allocate();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut r = rm(1);
+        let a1 = r.submit_app("first");
+        let a2 = r.submit_app("second");
+        r.request(a1, ContainerRequest::anywhere(Resource::new(2, 7000)));
+        r.request(a2, ContainerRequest::anywhere(Resource::new(2, 7000)));
+        let got = r.allocate();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].app, a1);
+    }
+
+    #[test]
+    fn node_failure_kills_containers_and_capacity() {
+        let mut r = rm(2);
+        let app = r.submit_app("wf");
+        r.request(app, ContainerRequest::pinned(one_core(), NodeId(0)));
+        r.request(app, ContainerRequest::pinned(one_core(), NodeId(1)));
+        let got = r.allocate();
+        assert_eq!(got.len(), 2);
+        let killed = r.fail_node(NodeId(0));
+        assert_eq!(killed.len(), 1);
+        assert_eq!(killed[0].node, NodeId(0));
+        assert!(!r.is_alive(NodeId(0)));
+        assert_eq!(r.alive_nodes(), vec![NodeId(1)]);
+        // New relaxed requests land on the survivor.
+        r.request(app, ContainerRequest::anywhere(one_core()));
+        let got = r.allocate();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].node, NodeId(1));
+        // Releasing a killed container is a no-op (already gone).
+        assert!(r.release(killed[0].id).is_none());
+        // Revive restores capacity.
+        r.revive_node(NodeId(0));
+        assert_eq!(r.available(NodeId(0)), r.total(NodeId(0)));
+    }
+
+    #[test]
+    fn capacity_fraction_reserves_headroom() {
+        let spec = ClusterSpec::homogeneous(1, "n", &NodeSpec::c3_2xlarge("p"));
+        let r = ResourceManager::new(&spec, RmConfig { capacity_fraction: 0.5 });
+        assert_eq!(r.total(NodeId(0)).vcores, 4);
+        assert_eq!(r.total(NodeId(0)).memory_mb, 7500);
+    }
+
+    #[test]
+    fn app_names_are_recorded() {
+        let mut r = rm(1);
+        let a = r.submit_app("snv-calling");
+        assert_eq!(r.app_name(a), "snv-calling");
+    }
+}

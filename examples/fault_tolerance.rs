@@ -1,0 +1,75 @@
+//! Fault tolerance (paper §3.1): "Hi-WAY is able to re-try failed tasks,
+//! requesting YARN to allocate the additional containers on different
+//! compute nodes. Also, data … persists through the crash of a storage
+//! node, since Hi-WAY exploits the redundant file storage of HDFS."
+//!
+//! This example starts a workflow, pauses virtual time mid-run, kills a
+//! worker node that is actively executing tasks, re-replicates the lost
+//! blocks, and lets the run finish on the survivors.
+//!
+//! ```sh
+//! cargo run --example fault_tolerance
+//! ```
+
+use hiway::core::cluster::Cluster;
+use hiway::core::driver::Runtime;
+use hiway::core::{HiwayConfig, SchedulerPolicy};
+use hiway::lang::ir::{OutputSpec, StaticWorkflow, TaskCost, TaskId, TaskSpec};
+use hiway::provdb::ProvDb;
+use hiway::sim::{ClusterSpec, NodeId, NodeSpec, SimTime};
+
+fn main() {
+    let spec = ClusterSpec::homogeneous(4, "worker", &NodeSpec::m3_large("proto"));
+    let mut cluster = Cluster::new(spec, 21);
+    cluster.prestage("/in/genome.dat", 256 << 20);
+
+    let tasks: Vec<TaskSpec> = (0..8)
+        .map(|i| TaskSpec {
+            id: TaskId(i),
+            name: "crunch".into(),
+            command: format!("crunch --part {i}"),
+            inputs: vec!["/in/genome.dat".into()],
+            outputs: vec![OutputSpec { path: format!("/out/part{i}"), size: 16 << 20 }],
+            cost: TaskCost::new(300.0, 1, 512),
+        })
+        .collect();
+
+    let mut runtime = Runtime::new(cluster);
+    let wf = runtime.submit(
+        Box::new(StaticWorkflow::new("resilient", "test", tasks)),
+        HiwayConfig::default().with_scheduler(SchedulerPolicy::Fcfs),
+        ProvDb::new(),
+    );
+
+    // Let tasks get mid-flight, then pull the plug on worker-2.
+    runtime.run_until(SimTime::from_secs(90.0));
+    println!("t=90s: killing worker-2 while its tasks are running…");
+    runtime.fail_node(NodeId(2));
+    let copies = runtime.cluster.re_replicate();
+    println!("  HDFS re-replication scheduled {copies} block copies");
+
+    let reports = runtime.run_to_completion();
+    match runtime.error_of(wf) {
+        None => {
+            let report = &reports[wf];
+            println!(
+                "workflow completed despite the failure: {} tasks in {:.1}s",
+                report.tasks.len(),
+                report.runtime_secs()
+            );
+            let retried = report.tasks.iter().filter(|t| t.attempts > 1).count();
+            println!("  tasks retried on surviving nodes: {retried}");
+            for t in report.tasks.iter().filter(|t| t.attempts > 1) {
+                println!(
+                    "    task {} re-ran on {} (attempt {})",
+                    t.id.0, t.node, t.attempts
+                );
+            }
+            assert!(report.tasks.iter().all(|t| t.node != "worker-2"));
+        }
+        Some(err) => {
+            eprintln!("workflow failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

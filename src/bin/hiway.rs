@@ -1,0 +1,206 @@
+//! The Hi-WAY client (paper §3.1: "to submit workflows for execution,
+//! Hi-WAY provides a light-weight client program").
+//!
+//! ```text
+//! hiway run <recipe-file> [--trace <out-file>] [--verbose]
+//! hiway replay <trace-file> <recipe-file> [--verbose]
+//! hiway check <recipe-file>
+//! hiway dot <recipe-file>
+//! hiway table1
+//! ```
+//!
+//! `run` cooks a recipe (infrastructure + staged inputs + workflow),
+//! submits the workflow to a fresh Hi-WAY AM, prints the execution
+//! report, and optionally writes the provenance trace — which `replay`
+//! can then execute as a workflow of its own (§3.5). `check` parses and
+//! cooks a recipe without running it.
+
+use std::process::ExitCode;
+
+use hiway::core::driver::Runtime;
+use hiway::lang::ir::WorkflowSource;
+use hiway::provdb::ProvDb;
+use hiway::recipes::{cook, parse_recipe};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  hiway run <recipe-file> [--trace <out-file>] [--verbose]\n  \
+         hiway replay <trace-file> <recipe-file> [--verbose]\n  \
+         hiway check <recipe-file>\n  \
+         hiway dot <recipe-file>\n  \
+         hiway table1"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    match positional.first().map(|s| s.as_str()) {
+        Some("run") => {
+            let Some(path) = positional.get(1) else { return usage() };
+            run_recipe(path, trace_out.as_deref(), verbose, None)
+        }
+        Some("replay") => {
+            let (Some(trace_path), Some(recipe_path)) = (positional.get(1), positional.get(2))
+            else {
+                return usage();
+            };
+            run_recipe(recipe_path, None, verbose, Some(trace_path))
+        }
+        Some("check") => {
+            let Some(path) = positional.get(1) else { return usage() };
+            match read_and_cook(path) {
+                Ok(cooked) => {
+                    println!(
+                        "recipe OK: workflow '{}' ({}), {} workers, scheduler {}",
+                        cooked.source.name(),
+                        cooked.source.language(),
+                        cooked.workers.len(),
+                        cooked.config.scheduler.name()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("dot") => {
+            let Some(path) = positional.get(1) else { return usage() };
+            match read_and_cook(path) {
+                Ok(mut cooked) => {
+                    // Static languages render directly; iterative ones
+                    // render the currently inferable task graph.
+                    match cooked.source.initial_tasks() {
+                        Ok(tasks) => {
+                            let wf = hiway::lang::StaticWorkflow::new(
+                                cooked.source.name().to_string(),
+                                cooked.source.language(),
+                                tasks,
+                            );
+                            // Tolerate a closed pipe (e.g. `| head`).
+                            use std::io::Write;
+                            let _ = std::io::stdout().write_all(wf.to_dot().as_bytes());
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("{e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("table1") => {
+            println!("{}", hiway_table1());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn hiway_table1() -> String {
+    // A static rendition of the paper's Table 1 for quick reference.
+    "Experiments reproduced by this build (see EXPERIMENTS.md):\n\
+     - SNV calling  | Cuneiform | data-aware | 24-node local cluster | fig4\n\
+     - SNV calling  | Cuneiform | FCFS       | 1-128 EC2 m3.large    | table2\n\
+     - RNA-seq      | Galaxy    | data-aware | 1-6 EC2 c3.2xlarge    | fig8\n\
+     - Montage      | DAX       | HEFT       | 11 stressed workers   | fig9"
+        .to_string()
+}
+
+fn read_and_cook(path: &str) -> Result<hiway::recipes::CookedExperiment, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read recipe '{path}': {e}"))?;
+    let recipe = parse_recipe(&text).map_err(|e| e.to_string())?;
+    cook(&recipe).map_err(|e| e.to_string())
+}
+
+fn run_recipe(
+    recipe_path: &str,
+    trace_out: Option<&str>,
+    verbose: bool,
+    replay_trace: Option<&str>,
+) -> ExitCode {
+    let cooked = match read_and_cook(recipe_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut runtime: Runtime = cooked.runtime;
+    let mut config = cooked.config;
+
+    // In replay mode the recipe provides infrastructure + staged inputs;
+    // the workflow itself comes from the trace file (§3.5: trace files
+    // are "intended for use on the same cluster").
+    let source: Box<dyn WorkflowSource> = if let Some(trace_path) = replay_trace {
+        let text = match std::fs::read_to_string(trace_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read trace '{trace_path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match hiway::lang::trace::parse_trace(&text) {
+            Ok(wf) => Box::new(wf),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        cooked.source
+    };
+
+    config.write_trace = true;
+    let wf = runtime.submit(source, config, ProvDb::new());
+    let reports = runtime.run_to_completion();
+    if let Some(err) = runtime.error_of(wf) {
+        eprintln!("workflow failed: {err}");
+        return ExitCode::FAILURE;
+    }
+    let report = &reports[wf];
+    println!(
+        "workflow '{}' [{}] finished: {} tasks in {:.1} virtual minutes (scheduler: {})",
+        report.name,
+        report.language,
+        report.tasks.len(),
+        report.runtime_mins(),
+        report.scheduler
+    );
+    for (tool, count) in report.task_histogram() {
+        println!("  {tool:<20} x{count}");
+    }
+    if verbose {
+        println!("\nper-task schedule:");
+        for t in &report.tasks {
+            println!(
+                "  {:>4} {:<20} {:<12} ready {:>9.1}s start {:>9.1}s end {:>9.1}s attempts {}",
+                t.id.0, t.name, t.node, t.t_ready, t.t_start, t.t_end, t.attempts
+            );
+        }
+    }
+    if let Some(out) = trace_out {
+        if let Err(e) = std::fs::write(out, &report.trace) {
+            eprintln!("cannot write trace '{out}': {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("provenance trace written to {out} ({} events)", report.trace.lines().count());
+    }
+    ExitCode::SUCCESS
+}

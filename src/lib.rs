@@ -1,0 +1,20 @@
+//! # hiway — facade crate for the Hi-WAY reproduction
+//!
+//! Re-exports the public API of the whole workspace: the simulated Hadoop
+//! substrate ([`sim`], [`hdfs`], [`yarn`]), the workflow languages
+//! ([`lang`], [`format`](mod@format)), the Hi-WAY application master ([`core`]), the
+//! provenance store ([`provdb`]), workload generators ([`workloads`]), and
+//! reproducible setup recipes ([`recipes`]).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and the per-experiment index.
+
+pub use hiway_core as core;
+pub use hiway_format as format;
+pub use hiway_hdfs as hdfs;
+pub use hiway_lang as lang;
+pub use hiway_provdb as provdb;
+pub use hiway_recipes as recipes;
+pub use hiway_sim as sim;
+pub use hiway_workloads as workloads;
+pub use hiway_yarn as yarn;

@@ -1,0 +1,100 @@
+//! End-to-end tests of the `hiway` client binary (paper §3.1's
+//! "light-weight client program").
+
+use std::process::Command;
+
+fn hiway() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hiway"))
+}
+
+fn write_recipe(dir: &std::path::Path, name: &str, body: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hiway-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const RECIPE: &str = "cluster ec2 workers=3 node=m3.large seed=4\n\
+                      scheduler data-aware\n\
+                      container vcores=1 memory=2048\n\
+                      workflow montage images=5\n";
+
+#[test]
+fn run_executes_a_recipe_and_reports() {
+    let dir = tmpdir("run");
+    let recipe = write_recipe(&dir, "montage.recipe", RECIPE);
+    let out = hiway().arg("run").arg(&recipe).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("finished"), "{stdout}");
+    assert!(stdout.contains("mProjectPP"), "{stdout}");
+}
+
+#[test]
+fn trace_written_by_run_replays() {
+    let dir = tmpdir("replay");
+    let recipe = write_recipe(&dir, "montage.recipe", RECIPE);
+    let trace = dir.join("run.trace");
+    let out = hiway()
+        .arg("run")
+        .arg(&recipe)
+        .arg("--trace")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists());
+
+    let out = hiway()
+        .arg("replay")
+        .arg(&trace)
+        .arg(&recipe)
+        .arg("--verbose")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("[trace]"), "{stdout}");
+    assert!(stdout.contains("per-task schedule"), "{stdout}");
+}
+
+#[test]
+fn check_validates_without_running() {
+    let dir = tmpdir("check");
+    let recipe = write_recipe(&dir, "ok.recipe", RECIPE);
+    let out = hiway().arg("check").arg(&recipe).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("recipe OK"));
+
+    let bad = write_recipe(&dir, "bad.recipe", "cluster martian\nworkflow montage\n");
+    let out = hiway().arg("check").arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown cluster kind"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = hiway().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = hiway().arg("run").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = hiway().arg("run").arg("/no/such/recipe").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn dot_exports_the_workflow_graph() {
+    let dir = tmpdir("dot");
+    let recipe = write_recipe(&dir, "montage.recipe", RECIPE);
+    let out = hiway().arg("dot").arg(&recipe).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let dot = String::from_utf8_lossy(&out.stdout);
+    assert!(dot.starts_with("digraph workflow {"), "{dot}");
+    assert!(dot.contains("mProjectPP"), "{dot}");
+    assert!(dot.contains("->"), "{dot}");
+}
