@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, lint, and smoke-run the engine benchmark.
+# Everything here is deterministic; the bench smoke also regenerates
+# BENCH_engine.json so regressions in the engine hot path show up as a
+# speedup drop in the artifact.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build (release)"
+cargo build --release --workspace
+
+echo "==> tests"
+cargo test -q --workspace
+
+echo "==> clippy (first-party crates; compat/ shims are vendored as-is)"
+cargo clippy --all-targets -p hiway -p hiway-sim -p hiway-hdfs -p hiway-yarn \
+  -p hiway-format -p hiway-lang -p hiway-provdb -p hiway-core \
+  -p hiway-workloads -p hiway-recipes -p hiway-bench -- -D warnings
+
+echo "==> engine benchmark smoke"
+./target/release/bench_engine --quick BENCH_engine.json
+cat BENCH_engine.json
+
+echo "CI OK"

@@ -1,0 +1,82 @@
+//! Collection strategies: `collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length bound for [`vec`]; built from a `usize`, `Range<usize>`, or
+/// `RangeInclusive<usize>` like the real crate's `SizeRange`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// `Vec` strategy: length drawn from `size`, elements from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.min + rng.below_usize(self.size.max - self.size.min + 1);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{Config, TestRunner};
+
+    #[test]
+    fn vec_respects_length_and_element_bounds() {
+        let mut runner = TestRunner::new(Config::with_cases(200));
+        runner
+            .run(&vec(5u32..8, 2..6), |v| {
+                crate::prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
+                for x in &v {
+                    crate::prop_assert!((5..8).contains(x));
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline drop-in subset of the `proptest 1.x` API.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! features its property tests use are reimplemented here: the [`Strategy`]
+//! trait (`prop_map`, `prop_recursive`, `boxed`), range / tuple / regex-string
+//! strategies, `collection::vec`, `option::of`, the `proptest!` /
+//! `prop_assert*!` / `prop_oneof!` macros and a [`test_runner::TestRunner`].
+//!
+//! Two deliberate simplifications versus the real crate:
+//!
+//! * **No shrinking.** A failing case reports the generated input as-is.
+//! * **Regex strategies** support the subset of syntax the test suite uses:
+//!   a single character class (`[...]` with ranges, escapes, literal chars,
+//!   `\PC`, and `&&[^...]` intersections) with an `{m,n}` repetition.
+//!
+//! Generation is deterministic: every `TestRunner` starts from a fixed seed,
+//! so test failures reproduce across runs and machines.
+
+// Vendored compatibility shim: keep it byte-stable rather than chasing
+// the lint set of each new toolchain.
+#![allow(clippy::all)]
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// `proptest! { ... }`: a block of property-test functions whose arguments
+/// are drawn from strategies.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))] // optional
+///     #[test]
+///     fn name(arg in strategy, arg2 in strategy2) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($config);
+                let outcome = runner.run(&($($strat,)+), |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+                if let ::core::result::Result::Err(err) = outcome {
+                    ::core::panic!("{}", err);
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "format", args...)`: fail the
+/// current test case (returning from the enclosing closure) without
+/// panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            ::std::format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}\n  both: `{:?}`",
+            ::std::format!($($fmt)+),
+            left
+        );
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]`: choose uniformly among strategies producing
+/// the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

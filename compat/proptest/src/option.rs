@@ -1,0 +1,26 @@
+//! `option::of`: wrap a strategy's values in `Option`, `None` half the
+//! time (the real crate's default probability).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.weighted_bool(0.5) {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}

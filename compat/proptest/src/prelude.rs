@@ -1,0 +1,7 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{
+    Config as ProptestConfig, TestCaseError, TestCaseResult, TestRunner,
+};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};

@@ -1,0 +1,318 @@
+//! The [`Strategy`] trait and the core combinators: [`Just`], [`Map`],
+//! [`Union`], [`BoxedStrategy`], numeric-range and tuple strategies, and
+//! `any::<T>()`.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values of type `Value`. Unlike the real crate there is no
+/// value tree / shrinking — a strategy just produces values.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, map }
+    }
+
+    /// Type-erase into a clonable, reference-counted strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            sample: Rc::new(move |rng| self.new_value(rng)),
+        }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves and `branch`
+    /// builds one recursion level on top of an inner strategy. `depth`
+    /// bounds the recursion; the size hints are accepted for API
+    /// compatibility but unused (each level flips a coin between leaf and
+    /// branch, so expected sizes stay modest for the depths in use).
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = branch(strat).boxed();
+            let leaf = leaf.clone();
+            strat = BoxedStrategy {
+                sample: Rc::new(move |rng: &mut TestRng| {
+                    if rng.weighted_bool(0.5) {
+                        leaf.new_value(rng)
+                    } else {
+                        deeper.new_value(rng)
+                    }
+                }),
+            };
+        }
+        strat
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.new_value(rng))
+    }
+}
+
+/// Reference-counted type-erased strategy; `Clone` is what makes
+/// `prop_recursive` closures and `prop_oneof!` arms composable.
+pub struct BoxedStrategy<T> {
+    pub(crate) sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sample: Rc::clone(&self.sample),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// Uniform choice among strategies with a common value type
+/// (the engine behind `prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below_usize(self.arms.len());
+        self.arms[arm].new_value(rng)
+    }
+}
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.weighted_bool(0.5)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.below(u64::MAX) as $ty
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.below(u64::MAX) as $ty;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $ty
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $ty;
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{Config, TestRunner};
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let strat = (1u32..5, (0.0f64..1.0).prop_map(|x| x * 10.0), Just("k"));
+        let mut runner = TestRunner::new(Config::with_cases(200));
+        runner
+            .run(&strat, |(a, b, k)| {
+                crate::prop_assert!((1..5).contains(&a));
+                crate::prop_assert!((0.0..10.0).contains(&b));
+                crate::prop_assert_eq!(k, "k");
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let strat = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let mut runner = TestRunner::new(Config::with_cases(300));
+        let seen = std::cell::RefCell::new([false; 4]);
+        runner
+            .run(&strat, |v| {
+                seen.borrow_mut()[v as usize] = true;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(&seen.borrow()[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn recursive_strategy_is_depth_bounded() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut runner = TestRunner::new(Config::with_cases(200));
+        runner
+            .run(&strat, |t| {
+                crate::prop_assert!(depth(&t) <= 3, "depth {} exceeds bound", depth(&t));
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn failing_property_reports_case_and_input() {
+        let mut runner = TestRunner::new(Config::with_cases(50));
+        let err = runner
+            .run(&(0u32..100,), |(v,)| {
+                crate::prop_assert!(v < 101, "impossible");
+                crate::prop_assert!(v % 2 == 0, "odd value {v}");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.message.contains("odd value"), "{}", err.message);
+        assert!(err.message.contains("input:"), "{}", err.message);
+    }
+}

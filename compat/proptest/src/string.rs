@@ -1,0 +1,391 @@
+//! Regex-literal string strategies: `&'static str` implements
+//! [`Strategy`], generating strings that match the pattern.
+//!
+//! Supported syntax — the subset the workspace's tests use:
+//!
+//! * one character class: `[...]` (literal chars, `a-z` ranges, `\`-escapes,
+//!   `\PC`, leading `^` negation, and `&&[^...]` subtraction) or a bare
+//!   `\PC` ("any non-control character");
+//! * one trailing repetition `{n}` or `{m,n}` (default: exactly one char).
+//!
+//! `\PC` draws from a fixed pool of printable characters spanning ASCII and
+//! multi-byte scripts — not all of Unicode, but enough to exercise UTF-8
+//! handling, escaping, and round-trip paths.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The `\PC` sampling pool: printable ASCII plus multi-byte letters,
+/// symbols, and an astral-plane character. No control/format characters.
+const NON_CONTROL_POOL: &str = concat!(
+    " !\"#$%&'()*+,-./0123456789:;<=>?@",
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`",
+    "abcdefghijklmnopqrstuvwxyz{|}~",
+    "¡µ°±²Ωλπéüß–—‘’“”•…€→≤≥√∞",
+    "世界文字한글абвгд日本語",
+    "🚀🙂"
+);
+
+#[derive(Clone, Debug, Default)]
+struct CharClass {
+    /// Include the `\PC` pool.
+    non_control: bool,
+    /// Inclusive character ranges (single chars are width-1 ranges).
+    ranges: Vec<(char, char)>,
+    /// Characters excluded via `[^...]` after `&&`, or class-level `^`.
+    excluded: Vec<(char, char)>,
+}
+
+impl CharClass {
+    fn contains_excluded(&self, c: char) -> bool {
+        self.excluded.iter().any(|&(lo, hi)| lo <= c && c <= hi)
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let pool: Vec<char> = NON_CONTROL_POOL.chars().collect();
+        let range_total: u64 = self
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+            .sum();
+        for _ in 0..1000 {
+            let use_pool = self.non_control
+                && (range_total == 0 || rng.weighted_bool(0.5));
+            let c = if use_pool {
+                pool[rng.below_usize(pool.len())]
+            } else if range_total > 0 {
+                let mut pick = rng.below(range_total);
+                let mut chosen = None;
+                for &(lo, hi) in &self.ranges {
+                    let width = hi as u64 - lo as u64 + 1;
+                    if pick < width {
+                        chosen = char::from_u32(lo as u32 + pick as u32);
+                        break;
+                    }
+                    pick -= width;
+                }
+                match chosen {
+                    Some(c) => c,
+                    None => continue, // surrogate gap inside a range
+                }
+            } else {
+                panic!("character class with nothing to include");
+            };
+            if !self.contains_excluded(c) {
+                return c;
+            }
+        }
+        panic!("character class excludes everything it includes");
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Pattern {
+    class: CharClass,
+    min_len: usize,
+    max_len: usize,
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pattern: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Parser<'a> {
+        Parser {
+            chars: pattern.chars().collect(),
+            pattern,
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        c
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "unsupported regex strategy {:?} at position {}: {what}",
+            self.pattern, self.pos
+        );
+    }
+
+    fn parse(mut self) -> Pattern {
+        let class = self.parse_class();
+        let (min_len, max_len) = if self.peek() == Some('{') {
+            self.parse_repetition()
+        } else {
+            (1, 1)
+        };
+        if self.pos != self.chars.len() {
+            self.fail("trailing syntax (only CLASS{m,n} is supported)");
+        }
+        Pattern {
+            class,
+            min_len,
+            max_len,
+        }
+    }
+
+    /// `\PC` or a bracketed class.
+    fn parse_class(&mut self) -> CharClass {
+        match self.peek() {
+            Some('\\') => {
+                self.bump();
+                self.parse_escape_as_class()
+            }
+            Some('[') => self.parse_bracketed(),
+            _ => self.fail("expected '[' or '\\PC'"),
+        }
+    }
+
+    /// After a `\`: either `PC` (non-control) or a literal escape.
+    fn parse_escape_as_class(&mut self) -> CharClass {
+        if self.peek() == Some('P') {
+            self.bump();
+            if self.bump() != 'C' {
+                self.fail("only the \\PC property is supported");
+            }
+            CharClass {
+                non_control: true,
+                ..CharClass::default()
+            }
+        } else {
+            let c = self.bump();
+            CharClass {
+                ranges: vec![(c, c)],
+                ..CharClass::default()
+            }
+        }
+    }
+
+    fn parse_bracketed(&mut self) -> CharClass {
+        if self.bump() != '[' {
+            self.fail("expected '['");
+        }
+        let mut class = CharClass::default();
+        let negated = self.peek() == Some('^');
+        if negated {
+            self.bump();
+        }
+        loop {
+            match self.peek() {
+                None => self.fail("unterminated character class"),
+                Some(']') => {
+                    self.bump();
+                    break;
+                }
+                Some('&') if self.chars.get(self.pos + 1) == Some(&'&') => {
+                    // `&&[^...]` subtraction.
+                    self.bump();
+                    self.bump();
+                    let sub = self.parse_bracketed_negation();
+                    class.excluded.extend(sub);
+                    if self.bump() != ']' {
+                        self.fail("expected ']' after '&&[^...]'");
+                    }
+                    break;
+                }
+                Some('\\') => {
+                    self.bump();
+                    if self.peek() == Some('P') {
+                        self.bump();
+                        if self.bump() != 'C' {
+                            self.fail("only the \\PC property is supported");
+                        }
+                        class.non_control = true;
+                    } else {
+                        let c = self.bump();
+                        class.ranges.push((c, c));
+                    }
+                }
+                Some(c) => {
+                    self.bump();
+                    // `a-z` range, unless the '-' is last (then literal).
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        self.bump();
+                        let hi = if self.peek() == Some('\\') {
+                            self.bump();
+                            self.bump()
+                        } else {
+                            self.bump()
+                        };
+                        if hi < c {
+                            self.fail("descending character range");
+                        }
+                        class.ranges.push((c, hi));
+                    } else {
+                        class.ranges.push((c, c));
+                    }
+                }
+            }
+        }
+        if negated {
+            // `[^...]` at class level: anything non-control except the set.
+            CharClass {
+                non_control: true,
+                ranges: Vec::new(),
+                excluded: {
+                    let mut ex = class.ranges;
+                    ex.extend(class.excluded);
+                    ex
+                },
+            }
+        } else {
+            class
+        }
+    }
+
+    /// A `[^...]` following `&&` — returns the ranges to exclude.
+    fn parse_bracketed_negation(&mut self) -> Vec<(char, char)> {
+        if self.bump() != '[' || self.bump() != '^' {
+            self.fail("only '&&[^...]' subtraction is supported");
+        }
+        let mut excluded = Vec::new();
+        loop {
+            match self.peek() {
+                None => self.fail("unterminated '&&[^...]'"),
+                Some(']') => {
+                    self.bump();
+                    return excluded;
+                }
+                Some('\\') => {
+                    self.bump();
+                    let c = self.bump();
+                    excluded.push((c, c));
+                }
+                Some(c) => {
+                    self.bump();
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        self.bump();
+                        let hi = self.bump();
+                        excluded.push((c, hi));
+                    } else {
+                        excluded.push((c, c));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_repetition(&mut self) -> (usize, usize) {
+        self.bump(); // '{'
+        let min = self.parse_number();
+        let max = if self.peek() == Some(',') {
+            self.bump();
+            self.parse_number()
+        } else {
+            min
+        };
+        if self.bump() != '}' {
+            self.fail("expected '}' in repetition");
+        }
+        if max < min {
+            self.fail("repetition max below min");
+        }
+        (min, max)
+    }
+
+    fn parse_number(&mut self) -> usize {
+        let mut n: usize = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n * 10 + d as usize;
+                any = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if !any {
+            self.fail("expected a number in repetition");
+        }
+        n
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let pattern = Parser::new(self).parse();
+        let span = pattern.max_len - pattern.min_len + 1;
+        let len = pattern.min_len + rng.below_usize(span);
+        (0..len).map(|_| pattern.class.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{Config, TestRunner};
+
+    fn sample(pattern: &'static str, cases: u32) -> Vec<String> {
+        let out = std::cell::RefCell::new(Vec::new());
+        let mut runner = TestRunner::new(Config::with_cases(cases));
+        runner
+            .run(&pattern, |s| {
+                out.borrow_mut().push(s);
+                Ok(())
+            })
+            .unwrap();
+        out.into_inner()
+    }
+
+    #[test]
+    fn simple_class_with_repetition() {
+        for s in sample("[a-z0-9-]{1,16}", 200) {
+            assert!((1..=16).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escapes_and_unicode_literals() {
+        let chars: Vec<String> = sample("[a-c\\\\\"\n\t\u{e9}\u{4e16}]{1,1}", 300);
+        let mut seen = std::collections::HashSet::new();
+        for s in &chars {
+            let c = s.chars().next().unwrap();
+            assert!(
+                ('a'..='c').contains(&c)
+                    || ['\\', '"', '\n', '\t', '\u{e9}', '\u{4e16}'].contains(&c),
+                "{c:?}"
+            );
+            seen.insert(c);
+        }
+        assert!(seen.len() >= 5, "poor coverage: {seen:?}");
+    }
+
+    #[test]
+    fn non_control_excludes_controls() {
+        for s in sample("\\PC{0,64}", 100) {
+            assert!(s.chars().count() <= 64);
+            assert!(!s.chars().any(|c| c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_subtracts() {
+        for s in sample("[\\PC&&[^\"\\\\]]{0,24}", 300) {
+            assert!(!s.contains('"') && !s.contains('\\'), "{s:?}");
+            assert!(!s.chars().any(|c| c.is_control()), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The case-driving machinery: [`Config`], [`TestRunner`], and the error
+//! types the `prop_assert*` macros produce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::strategy::Strategy;
+
+/// The deterministic RNG handed to strategies.
+///
+/// Wraps the workspace's `StdRng`; strategies consume it through the small
+/// typed helpers below rather than `rand`'s traits so the strategy code
+/// stays independent of the RNG crate's API.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.inner.gen_range(0..bound)
+    }
+
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    pub fn weighted_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        // Matches proptest's default.
+        Config { cases: 256 }
+    }
+}
+
+/// A single failed case, as produced by the `prop_assert*` macros.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Failure of a whole property test (first failing case; no shrinking).
+#[derive(Clone, Debug)]
+pub struct TestError {
+    pub message: String,
+}
+
+impl std::fmt::Display for TestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(config: Config) -> TestRunner {
+        // Fixed seed: failures reproduce across runs and machines.
+        TestRunner {
+            config,
+            rng: TestRng::from_seed(0x70726f70_74657374), // "proptest"
+        }
+    }
+
+    /// Generate `config.cases` inputs and run `test` on each; the first
+    /// failure aborts with the generated input in the message.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.new_value(&mut self.rng);
+            let mut shown = format!("{value:?}");
+            if shown.len() > 600 {
+                let cut = (0..=600).rev().find(|&i| shown.is_char_boundary(i)).unwrap_or(0);
+                shown.truncate(cut);
+                shown.push_str("…");
+            }
+            if let Err(err) = test(value) {
+                return Err(TestError {
+                    message: format!(
+                        "property failed at case {}/{}: {}\ninput: {}",
+                        case + 1,
+                        self.config.cases,
+                        err.message,
+                        shown
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,82 @@
+//! Sequence helpers (`rand::seq` subset): `SliceRandom`.
+
+use crate::{Rng, RngCore};
+
+/// Slice extension trait matching `rand 0.8`'s `SliceRandom` for the
+/// methods this workspace uses.
+pub trait SliceRandom {
+    type Item;
+
+    /// In-place Fisher–Yates shuffle, identical draw order to `rand 0.8`:
+    /// iterate `i` from `len-1` down to `1`, swapping with
+    /// `gen_range(0..=i)`.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly pick one element (`None` on an empty slice).
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(5));
+        b.shuffle(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "seed 5 must actually permute");
+    }
+
+    #[test]
+    fn shuffle_matches_reverse_fisher_yates_draws() {
+        // Replay the same RNG manually to pin the draw order.
+        let mut v: Vec<u32> = (0..10).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(11));
+
+        let mut expect: Vec<u32> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in (1..expect.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            expect.swap(i, j);
+        }
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn choose_covers_bounds() {
+        let v = [1, 2, 3];
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -101,6 +101,23 @@ fn bench_kernel_netfair(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_hot_path(c: &mut Criterion) {
+    use hiway_bench::engine_bench::{drive_incremental, drive_reference, make_plan};
+    let mut group = c.benchmark_group("engine_hot_path");
+    group.sample_size(10);
+    // The Figure 4 shape: 24 nodes, 576 task pipelines. The incremental
+    // engine must process the identical event stream ≥5x faster than the
+    // naive recompute-everything engine (see BENCH_engine.json).
+    let plan = make_plan(24, 576, 4242);
+    group.bench_function("incremental_24n_576t", |b| {
+        b.iter(|| drive_incremental(24, &plan))
+    });
+    group.bench_function("reference_24n_576t", |b| {
+        b.iter(|| drive_reference(24, &plan))
+    });
+    group.finish();
+}
+
 fn bench_cuneiform_frontend(c: &mut Criterion) {
     let mut group = c.benchmark_group("cuneiform_frontend");
     let src = SnvParams::fig4(32).cuneiform_source();
@@ -121,6 +138,7 @@ criterion_group!(
     bench_fig8,
     bench_fig9,
     bench_kernel_netfair,
+    bench_engine_hot_path,
     bench_cuneiform_frontend
 );
 criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Engine hot-path benchmark: drives the Figure-4-shaped workload (24
+//! nodes, 576 task pipelines) through the incremental engine and the
+//! naive reference engine, prints the events/sec comparison, and emits
+//! `BENCH_engine.json` for regression tracking.
+//!
+//! Usage: `bench_engine [--quick] [output.json]`
+
+use std::time::Instant;
+
+use hiway_bench::engine_bench::{drive_incremental, drive_reference, make_plan, DriveResult};
+
+struct Measured {
+    result: DriveResult,
+    best_secs: f64,
+}
+
+fn measure(runs: usize, f: impl Fn() -> DriveResult) -> Measured {
+    let result = f(); // warm-up; also the result all timed runs must match
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let r = f();
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(r, result, "benchmark run was not deterministic");
+        best = best.min(dt);
+    }
+    Measured { result, best_secs: best }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    // Figure 4 scale: 24 nodes behind one switch, 576 one-core containers.
+    let (nodes, tasks, runs) = if quick { (24, 576, 2) } else { (24, 576, 5) };
+    let plan = make_plan(nodes, tasks, 4242);
+
+    println!("engine hot-path benchmark: {nodes} nodes, {tasks} task pipelines");
+    let reference = measure(runs, || drive_reference(nodes, &plan));
+    println!(
+        "  reference:   {:>8.0} events/sec ({} events, {} steps, best of {runs}: {:.3}s)",
+        reference.result.events as f64 / reference.best_secs,
+        reference.result.events,
+        reference.result.steps,
+        reference.best_secs,
+    );
+    let incremental = measure(runs, || drive_incremental(nodes, &plan));
+    println!(
+        "  incremental: {:>8.0} events/sec ({} events, {} steps, best of {runs}: {:.3}s)",
+        incremental.result.events as f64 / incremental.best_secs,
+        incremental.result.events,
+        incremental.result.steps,
+        incremental.best_secs,
+    );
+
+    assert_eq!(
+        incremental.result, reference.result,
+        "engines disagreed on the benchmark workload"
+    );
+    let ref_eps = reference.result.events as f64 / reference.best_secs;
+    let inc_eps = incremental.result.events as f64 / incremental.best_secs;
+    let speedup = inc_eps / ref_eps;
+    println!("  speedup:     {speedup:.1}x");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_hot_path\",\n  \"workload\": {{\n    \"shape\": \"fig4\",\n    \"nodes\": {nodes},\n    \"task_pipelines\": {tasks},\n    \"events\": {},\n    \"steps\": {},\n    \"virtual_secs\": {:.3}\n  }},\n  \"reference\": {{\n    \"wall_secs\": {:.6},\n    \"events_per_sec\": {:.1}\n  }},\n  \"incremental\": {{\n    \"wall_secs\": {:.6},\n    \"events_per_sec\": {:.1}\n  }},\n  \"speedup\": {:.2}\n}}\n",
+        reference.result.events,
+        reference.result.steps,
+        reference.result.virtual_secs,
+        reference.best_secs,
+        ref_eps,
+        incremental.best_secs,
+        inc_eps,
+        speedup,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

@@ -40,6 +40,51 @@ pub fn run_one(
     Ok(reports[idx].runtime_secs())
 }
 
+/// Fans independent jobs across OS threads (`std::thread::scope`) and
+/// returns results in submission order, so a parallel sweep renders byte
+/// for byte like the sequential one. Jobs are pulled from a shared queue
+/// (cells of a sweep differ wildly in cost — a 576-container Figure 4 run
+/// dwarfs a 72-container one). `HIWAY_BENCH_THREADS=1` forces sequential
+/// execution; unset, one thread per available core.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::env::var("HIWAY_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let len = items.len();
+    let queue: std::sync::Mutex<Vec<(usize, T)>> =
+        std::sync::Mutex::new(items.into_iter().enumerate().collect());
+    let results: std::sync::Mutex<Vec<(usize, R)>> =
+        std::sync::Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                let Some((idx, item)) = job else { break };
+                let r = f(item);
+                results.lock().expect("results lock").push((idx, r));
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("results lock");
+    out.sort_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Renders a simple aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

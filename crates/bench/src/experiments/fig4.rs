@@ -20,7 +20,7 @@ use hiway_workloads::profiles;
 use hiway_workloads::snv::SnvParams;
 use hiway_yarn::Resource;
 
-use crate::experiments::common::{materialize, run_one};
+use crate::experiments::common::{self, materialize, run_one};
 use crate::stats::Summary;
 
 /// One point of the figure.
@@ -55,18 +55,34 @@ impl Default for Fig4Params {
     }
 }
 
-/// Runs the sweep.
+/// Runs the sweep. Every (container count, repetition) cell is seeded
+/// independently, so the cells fan out across threads; results are merged
+/// back in sweep order and the rendered table is identical to a
+/// sequential run.
 pub fn run(params: &Fig4Params) -> Result<Vec<Fig4Point>, String> {
     let snv = SnvParams::fig4(params.samples).scaled(params.cpu_scale);
-    let mut points = Vec::new();
+    let mut jobs = Vec::new();
     for &containers in &params.container_counts {
+        for run_idx in 0..params.runs {
+            jobs.push((containers, run_idx));
+        }
+    }
+    let cells = common::par_map(jobs, |(containers, run_idx)| {
         let per_node = (containers as usize / params.nodes).max(1) as u32;
+        let seed = 1000 * containers as u64 + run_idx as u64;
+        let h = run_hiway(params, &snv, per_node, seed)? / 60.0;
+        let t = run_tez_baseline(params, &snv, per_node, seed)? / 60.0;
+        Ok::<(f64, f64), String>((h, t))
+    });
+    let mut points = Vec::new();
+    let mut cells = cells.into_iter();
+    for &containers in &params.container_counts {
         let mut hiway = Vec::new();
         let mut tez = Vec::new();
-        for run_idx in 0..params.runs {
-            let seed = 1000 * containers as u64 + run_idx as u64;
-            hiway.push(run_hiway(params, &snv, per_node, seed)? / 60.0);
-            tez.push(run_tez_baseline(params, &snv, per_node, seed)? / 60.0);
+        for _ in 0..params.runs {
+            let (h, t) = cells.next().expect("one cell per (count, run)")?;
+            hiway.push(h);
+            tez.push(t);
         }
         points.push(Fig4Point {
             containers,

@@ -15,7 +15,7 @@ use hiway_workloads::baseline::run_cloudman;
 use hiway_workloads::profiles;
 use hiway_workloads::rnaseq::RnaseqParams;
 
-use crate::experiments::common::run_one;
+use crate::experiments::common::{self, run_one};
 use crate::stats::Summary;
 
 /// One cluster size.
@@ -42,17 +42,31 @@ impl Default for Fig8Params {
     }
 }
 
-/// Runs the comparison.
+/// Runs the comparison. Each (cluster size, repetition) cell is seeded
+/// independently and runs on its own thread; results merge in sweep order.
 pub fn run(params: &Fig8Params) -> Result<Vec<Fig8Point>, String> {
     let rnaseq = RnaseqParams::default();
+    let mut jobs = Vec::new();
+    for &nodes in &params.node_counts {
+        for r in 0..params.runs {
+            jobs.push((nodes, r));
+        }
+    }
+    let cells = common::par_map(jobs, |(nodes, r)| {
+        let seed = nodes as u64 * 1000 + r as u64;
+        let h = run_hiway(&rnaseq, nodes, seed)? / 60.0;
+        let c = run_cloudman_baseline(&rnaseq, nodes, seed)? / 60.0;
+        Ok::<(f64, f64), String>((h, c))
+    });
     let mut points = Vec::new();
+    let mut cells = cells.into_iter();
     for &nodes in &params.node_counts {
         let mut hiway = Vec::new();
         let mut cloudman = Vec::new();
-        for r in 0..params.runs {
-            let seed = nodes as u64 * 1000 + r as u64;
-            hiway.push(run_hiway(&rnaseq, nodes, seed)? / 60.0);
-            cloudman.push(run_cloudman_baseline(&rnaseq, nodes, seed)? / 60.0);
+        for _ in 0..params.runs {
+            let (h, c) = cells.next().expect("one cell per (size, run)")?;
+            hiway.push(h);
+            cloudman.push(c);
         }
         points.push(Fig8Point {
             nodes,

@@ -31,7 +31,7 @@ use hiway_workloads::montage::MontageParams;
 use hiway_workloads::profiles;
 use hiway_yarn::Resource;
 
-use crate::experiments::common::run_one;
+use crate::experiments::common::{self, run_one};
 use crate::stats::{welch_t, Summary};
 
 /// Stress levels applied to the five CPU-stressed and five disk-stressed
@@ -98,31 +98,31 @@ fn montage_config(policy: SchedulerPolicy, seed: u64) -> HiwayConfig {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Repetitions are independent (each has its own
+/// seed ladder and provenance database) and fan out across threads; the
+/// consecutive HEFT runs *within* a repetition share a provenance
+/// database and therefore stay sequential.
 pub fn run(params: &Fig9Params) -> Result<Fig9Result, String> {
     let montage = MontageParams::default();
-    let mut fcfs_secs = Vec::new();
-    let mut heft_secs: Vec<Vec<f64>> = vec![Vec::new(); params.consecutive_heft_runs];
-
-    for rep in 0..params.repetitions {
+    let reps = common::par_map((0..params.repetitions).collect(), |rep| {
         let base_seed = 7_000 + rep as u64 * 97;
 
         // (i) FCFS baseline, fresh provenance.
-        {
+        let fcfs = {
             let mut deployment = stressed_deployment(params, &montage, base_seed);
             let source = parse_dax(&montage.dax_source()).map_err(|e| e.to_string())?;
-            let secs = run_one(
+            run_one(
                 &mut deployment.runtime,
                 Box::new(source),
                 montage_config(SchedulerPolicy::Fcfs, base_seed),
                 ProvDb::new(),
-            )?;
-            fcfs_secs.push(secs);
-        }
+            )?
+        };
 
         // (ii) consecutive HEFT runs sharing one provenance database.
         let shared_db = ProvDb::new();
-        for (k, bucket) in heft_secs.iter_mut().enumerate() {
+        let mut heft = Vec::with_capacity(params.consecutive_heft_runs);
+        for k in 0..params.consecutive_heft_runs {
             let seed = base_seed + 1 + k as u64;
             let mut deployment = stressed_deployment(params, &montage, seed);
             let source = parse_dax(&montage.dax_source()).map_err(|e| e.to_string())?;
@@ -132,10 +132,20 @@ pub fn run(params: &Fig9Params) -> Result<Fig9Result, String> {
                 montage_config(SchedulerPolicy::Heft, seed),
                 shared_db.clone(),
             )?;
-            bucket.push(secs);
+            heft.push(secs);
+        }
+        Ok::<(f64, Vec<f64>), String>((fcfs, heft))
+    });
+
+    let mut fcfs_secs = Vec::new();
+    let mut heft_secs: Vec<Vec<f64>> = vec![Vec::new(); params.consecutive_heft_runs];
+    for rep in reps {
+        let (fcfs, heft) = rep?;
+        fcfs_secs.push(fcfs);
+        for (k, secs) in heft.into_iter().enumerate() {
+            heft_secs[k].push(secs);
         }
     }
-
     Ok(Fig9Result { fcfs_secs, heft_secs })
 }
 

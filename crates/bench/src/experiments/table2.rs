@@ -16,7 +16,7 @@ use hiway_sim::NodeSpec;
 use hiway_workloads::profiles;
 use hiway_workloads::snv::SnvParams;
 
-use crate::experiments::common::run_one;
+use crate::experiments::common::{self, run_one};
 use crate::stats::Summary;
 
 /// Hourly price of an m3.large instance in EU West at the time of
@@ -69,16 +69,27 @@ pub fn run_rung(workers: usize, seed: u64) -> Result<(hiway_core::driver::Runtim
     Ok((deployment.runtime, secs))
 }
 
-/// Runs the whole ladder.
+/// Runs the whole ladder. Each (rung, repetition) cell is independently
+/// seeded and fans out across threads; rows merge in ladder order.
 pub fn run(params: &Table2Params) -> Result<Vec<Table2Row>, String> {
+    let mut jobs = Vec::new();
+    for &workers in &params.worker_counts {
+        for r in 0..params.runs {
+            jobs.push((workers, r));
+        }
+    }
+    let cells = common::par_map(jobs, |(workers, r)| {
+        let seed = workers as u64 * 100 + r as u64;
+        let (_, secs) = run_rung(workers, seed)?;
+        Ok::<f64, String>(secs / 60.0)
+    });
+    let mut cells = cells.into_iter();
     let mut rows = Vec::new();
     for &workers in &params.worker_counts {
         let snv = SnvParams::table2(workers);
         let mut runtimes = Vec::new();
-        for r in 0..params.runs {
-            let seed = workers as u64 * 100 + r as u64;
-            let (_, secs) = run_rung(workers, seed)?;
-            runtimes.push(secs / 60.0);
+        for _ in 0..params.runs {
+            runtimes.push(cells.next().expect("one cell per (rung, run)")?);
         }
         let summary = Summary::of(&runtimes);
         let masters = 2;

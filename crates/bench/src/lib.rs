@@ -15,6 +15,7 @@
 //! | `fig8`    | Figure 8       | TRAPLINE on Hi-WAY vs Galaxy CloudMan |
 //! | `fig9`    | Figure 9       | Montage: HEFT vs FCFS over provenance warm-up |
 
+pub mod engine_bench;
 pub mod experiments;
 pub mod stats;
 

@@ -125,6 +125,11 @@ impl Scheduler for DataAwareScheduler {
     }
 
     fn select_task(&mut self, node: NodeId, candidates: &[&TaskSpec], hdfs: &Hdfs) -> Option<TaskId> {
+        // Liveness is invariant across candidates: on a dead DataNode every
+        // fraction is zero, and the tie-break degenerates to FCFS.
+        if !hdfs.is_alive(node) {
+            return candidates.first().map(|t| t.id);
+        }
         candidates
             .iter()
             .map(|t| {
@@ -368,6 +373,9 @@ impl Scheduler for AdaptiveScheduler {
                 here / avg
             }
         };
+        // Hoisted liveness check: locality on a dead node is uniformly
+        // zero, so skip the per-candidate block scans entirely.
+        let node_alive = hdfs.is_alive(node);
         candidates
             .iter()
             .map(|t| {
@@ -375,7 +383,7 @@ impl Scheduler for AdaptiveScheduler {
                     t.id,
                     score(t),
                     // Locality as the tie-breaker.
-                    -hdfs.locality_fraction(&t.inputs, node),
+                    if node_alive { -hdfs.locality_fraction(&t.inputs, node) } else { 0.0 },
                 )
             })
             // Earliest-ready wins remaining ties (stable min by rev+min_by).

@@ -1,7 +1,8 @@
 //! The NameNode metadata plane: namespace, block placement, locality
 //! queries, DataNode failure, and re-replication.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -52,6 +53,11 @@ struct FileMeta {
     blocks: Vec<BlockInfo>,
 }
 
+/// Locality-cache key: (canonical task-input-set string, node index).
+type LocalityKey = (String, u32);
+/// Locality-cache value: (epoch computed in, local bytes, readable bytes).
+type LocalityEntry = (u64, u64, u64);
+
 /// The simulated NameNode. All operations are metadata-only; data movement
 /// happens in the engine via the plans these methods return.
 pub struct Hdfs {
@@ -60,6 +66,15 @@ pub struct Hdfs {
     alive: Vec<bool>,
     used_bytes: Vec<u64>,
     rng: StdRng,
+    /// Bumped on every metadata mutation that can change locality
+    /// (create/delete/node death/revival/re-replication). Cached locality
+    /// answers are valid only for the epoch they were computed in.
+    epoch: u64,
+    /// Memoized `(local, readable-total)` byte counts per (task-input-set,
+    /// node) pair, so the data-aware scheduler's per-candidate queries stop
+    /// rescanning every block list (O(files × blocks × replicas)) on each
+    /// container allocation.
+    locality_cache: RefCell<HashMap<LocalityKey, LocalityEntry>>,
 }
 
 impl Hdfs {
@@ -72,6 +87,24 @@ impl Hdfs {
             alive: vec![true; num_datanodes],
             used_bytes: vec![0; num_datanodes],
             rng: StdRng::seed_from_u64(seed),
+            epoch: 0,
+            locality_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Current mutation epoch (exposed for cache-behaviour tests).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        // Drop stale entries wholesale once the map gets large; otherwise
+        // let epoch checks filter them (mutations are frequent during
+        // stage-out bursts, and clearing on every bump would defeat the
+        // cache for the queries in between).
+        if self.locality_cache.borrow().len() > 4096 {
+            self.locality_cache.borrow_mut().clear();
         }
     }
 
@@ -197,6 +230,7 @@ impl Hdfs {
             path.to_string(),
             FileMeta { size, blocks },
         );
+        self.bump_epoch();
         Ok(WritePlan {
             path: path.to_string(),
             writer,
@@ -255,24 +289,15 @@ impl Hdfs {
         })
     }
 
-    /// Fraction of the total bytes of `paths` that is already local to
+    /// Fraction of the readable bytes of `paths` that is already local to
     /// `node` — the quantity the data-aware scheduler maximizes (§3.4).
-    /// Missing paths contribute zero local bytes but count their size if
-    /// known; unknown paths are ignored entirely (e.g. a task input
-    /// fetched from outside HDFS).
+    /// Missing paths contribute zero local bytes but count their readable
+    /// size if known; unknown paths are ignored entirely (e.g. a task
+    /// input fetched from outside HDFS). Blocks whose every replica sits
+    /// on a dead DataNode are unreadable from anywhere and count toward
+    /// neither side of the fraction.
     pub fn locality_fraction(&self, paths: &[String], node: NodeId) -> f64 {
-        let mut total = 0u64;
-        let mut local = 0u64;
-        for path in paths {
-            if let Some(meta) = self.files.get(path) {
-                total += meta.size;
-                for block in &meta.blocks {
-                    if block.replicas.contains(&node) && self.alive[node.index()] {
-                        local += block.size;
-                    }
-                }
-            }
-        }
+        let (local, total) = self.local_and_total(paths, node);
         if total == 0 {
             0.0
         } else {
@@ -282,17 +307,40 @@ impl Hdfs {
 
     /// Absolute number of bytes of `paths` local to `node`.
     pub fn local_bytes(&self, paths: &[String], node: NodeId) -> u64 {
+        self.local_and_total(paths, node).0
+    }
+
+    /// `(local, readable-total)` bytes of `paths` relative to `node`,
+    /// served from the epoch-keyed cache when possible.
+    fn local_and_total(&self, paths: &[String], node: NodeId) -> (u64, u64) {
+        let key = (paths.join("\u{1f}"), node.0);
+        if let Some(&(epoch, local, total)) = self.locality_cache.borrow().get(&key) {
+            if epoch == self.epoch {
+                return (local, total);
+            }
+        }
+        // The query node's liveness is invariant across the scan: hoist it
+        // out of the per-block loop (a dead node holds nothing locally).
+        let node_alive = node.index() < self.alive.len() && self.alive[node.index()];
+        let mut total = 0u64;
         let mut local = 0u64;
         for path in paths {
             if let Some(meta) = self.files.get(path) {
                 for block in &meta.blocks {
-                    if block.replicas.contains(&node) && self.alive[node.index()] {
+                    if !block.replicas.iter().any(|r| self.alive[r.index()]) {
+                        continue; // every replica dead: unreadable bytes
+                    }
+                    total += block.size;
+                    if node_alive && block.replicas.contains(&node) {
                         local += block.size;
                     }
                 }
             }
         }
-        local
+        self.locality_cache
+            .borrow_mut()
+            .insert(key, (self.epoch, local, total));
+        (local, total)
     }
 
     /// Removes a file from the namespace.
@@ -307,6 +355,7 @@ impl Hdfs {
                     self.used_bytes[n.index()].saturating_sub(block.size);
             }
         }
+        self.bump_epoch();
         Ok(())
     }
 
@@ -319,6 +368,7 @@ impl Hdfs {
             return Err(HdfsError::UnknownNode(node.0));
         }
         self.alive[idx] = false;
+        self.bump_epoch();
         Ok(())
     }
 
@@ -337,6 +387,7 @@ impl Hdfs {
                     block.replicas.retain(|n| *n != node);
                 }
             }
+            self.bump_epoch();
         }
         Ok(())
     }
@@ -395,6 +446,7 @@ impl Hdfs {
                 block.replicas.retain(|n| alive_flags[n.index()]);
             }
         }
+        self.bump_epoch();
         Ok(copies
             .into_iter()
             .map(|((s, d), b)| (NodeId(s), NodeId(d), b))
@@ -506,6 +558,53 @@ mod tests {
         assert_eq!(h.locality_fraction(&paths, outsider), 0.0);
         // Unknown paths are ignored.
         assert_eq!(h.locality_fraction(&["/nope".to_string()], NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn locality_ignores_bytes_lost_to_dead_nodes() {
+        // Replication 1: each file lives on exactly one node.
+        let config = HdfsConfig { replication: 1, ..Default::default() };
+        let mut h = Hdfs::new(4, config, 9);
+        h.create("/alive", 64 << 20, NodeId(1)).unwrap();
+        h.create("/lost", 192 << 20, NodeId(2)).unwrap();
+        let paths = vec!["/alive".to_string(), "/lost".to_string()];
+        // Before the failure, node 1 holds a quarter of the input bytes.
+        assert!((h.locality_fraction(&paths, NodeId(1)) - 0.25).abs() < 1e-12);
+
+        h.fail_node(NodeId(2)).unwrap();
+        // /lost is unreadable from anywhere; it must not dilute the
+        // fraction (the old code kept its bytes in the denominator and
+        // reported 0.25 here).
+        assert_eq!(h.locality_fraction(&paths, NodeId(1)), 1.0);
+        assert_eq!(h.local_bytes(&paths, NodeId(1)), 64 << 20);
+        // A dead query node holds nothing locally.
+        assert_eq!(h.locality_fraction(&paths, NodeId(2)), 0.0);
+        assert_eq!(h.local_bytes(&paths, NodeId(2)), 0);
+    }
+
+    #[test]
+    fn locality_cache_invalidates_on_mutation() {
+        let config = HdfsConfig { replication: 1, ..Default::default() };
+        let mut h = Hdfs::new(3, config, 5);
+        h.create("/a", 10 << 20, NodeId(0)).unwrap();
+        let paths = vec!["/a".to_string(), "/b".to_string()];
+        let e0 = h.epoch();
+        assert_eq!(h.locality_fraction(&paths, NodeId(0)), 1.0);
+        // Repeated query in the same epoch is served from the cache.
+        assert_eq!(h.locality_fraction(&paths, NodeId(0)), 1.0);
+        assert_eq!(h.epoch(), e0);
+
+        // Every mutation class bumps the epoch and refreshes the answer.
+        h.create("/b", 30 << 20, NodeId(1)).unwrap();
+        assert!(h.epoch() > e0);
+        assert!((h.locality_fraction(&paths, NodeId(0)) - 0.25).abs() < 1e-12);
+        h.delete("/b").unwrap();
+        assert_eq!(h.locality_fraction(&paths, NodeId(0)), 1.0);
+        h.fail_node(NodeId(0)).unwrap();
+        assert_eq!(h.locality_fraction(&paths, NodeId(0)), 0.0);
+        let e1 = h.epoch();
+        h.revive_node(NodeId(0)).unwrap();
+        assert!(h.epoch() > e1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use hiway_format::json::Json;
 
@@ -42,7 +42,7 @@ pub struct Collection {
 impl Collection {
     /// Inserts a document, maintaining any existing indexes.
     pub fn insert(&self, doc: Json) -> DocId {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("provdb lock poisoned");
         let id = DocId(inner.docs.len() as u64);
         let fields: Vec<String> = inner.indexes.keys().cloned().collect();
         for field in fields {
@@ -62,7 +62,7 @@ impl Collection {
 
     /// Builds (or rebuilds) a hash index over `field`.
     pub fn create_index(&self, field: &str) {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("provdb lock poisoned");
         let mut index: HashMap<String, Vec<DocId>> = HashMap::new();
         for (i, doc) in inner.docs.iter().enumerate() {
             if let Some(key) = doc.get(field).and_then(index_key) {
@@ -73,7 +73,7 @@ impl Collection {
     }
 
     pub fn len(&self) -> usize {
-        self.inner.read().docs.len()
+        self.inner.read().expect("provdb lock poisoned").docs.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -81,12 +81,12 @@ impl Collection {
     }
 
     pub fn get(&self, id: DocId) -> Option<Json> {
-        self.inner.read().docs.get(id.0 as usize).cloned()
+        self.inner.read().expect("provdb lock poisoned").docs.get(id.0 as usize).cloned()
     }
 
     /// Exact-match lookup, served from the index when one exists.
     pub fn find_eq(&self, field: &str, value: &Json) -> Vec<Json> {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("provdb lock poisoned");
         if let (Some(index), Some(key)) = (inner.indexes.get(field), index_key(value)) {
             return index
                 .get(&key)
@@ -112,12 +112,12 @@ impl Collection {
 
     /// A point-in-time copy of all documents.
     pub fn snapshot(&self) -> Vec<Json> {
-        self.inner.read().docs.clone()
+        self.inner.read().expect("provdb lock poisoned").docs.clone()
     }
 
     /// Serializes to JSON lines.
     pub fn export_jsonl(&self) -> String {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("provdb lock poisoned");
         let mut out = String::new();
         for d in &inner.docs {
             out.push_str(&d.to_compact());
@@ -141,6 +141,7 @@ impl Collection {
     pub fn scan(&self, filter: &Filter) -> Vec<Json> {
         self.inner
             .read()
+            .expect("provdb lock poisoned")
             .docs
             .iter()
             .filter(|d| filter.matches(d))
@@ -162,12 +163,12 @@ impl ProvDb {
 
     /// Gets or creates a collection.
     pub fn collection(&self, name: &str) -> Collection {
-        let mut map = self.collections.write();
+        let mut map = self.collections.write().expect("provdb lock poisoned");
         map.entry(name.to_string()).or_default().clone()
     }
 
     pub fn collection_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.collections.read().expect("provdb lock poisoned").keys().cloned().collect();
         names.sort();
         names
     }

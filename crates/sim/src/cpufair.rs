@@ -19,25 +19,38 @@
 /// * water-filling: if `alloc[i] < caps[i]` then `alloc[i] >= alloc[j]`
 ///   for every `j` (nobody below their cap gets less than anyone else).
 pub fn fair_cores(caps: &[f64], cores: f64) -> Vec<f64> {
+    let mut alloc = Vec::new();
+    let mut order = Vec::new();
+    fair_cores_into(caps, cores, &mut alloc, &mut order);
+    alloc
+}
+
+/// [`fair_cores`] writing into caller-owned buffers, so per-refresh heap
+/// allocation disappears from the engine's hot path. `alloc` receives the
+/// result; `order` is sort scratch. Identical arithmetic to `fair_cores`.
+pub fn fair_cores_into(caps: &[f64], cores: f64, alloc: &mut Vec<f64>, order: &mut Vec<usize>) {
     let n = caps.len();
+    alloc.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     debug_assert!(caps.iter().all(|c| *c >= 0.0 && c.is_finite()));
 
     let total_demand: f64 = caps.iter().sum();
     if total_demand <= cores {
         // Uncontended: everyone runs at full parallelism.
-        return caps.to_vec();
+        alloc.extend_from_slice(caps);
+        return;
     }
 
     // Water-filling: process demands in increasing cap order; each either
     // gets its full cap (if below the current fair level) or the final
     // level shared by all unsatisfied demands.
-    let mut order: Vec<usize> = (0..n).collect();
+    order.clear();
+    order.extend(0..n);
     order.sort_by(|&a, &b| caps[a].partial_cmp(&caps[b]).expect("caps are finite"));
 
-    let mut alloc = vec![0.0; n];
+    alloc.resize(n, 0.0);
     let mut remaining = cores;
     let mut left = n;
     for (pos, &i) in order.iter().enumerate() {
@@ -54,7 +67,6 @@ pub fn fair_cores(caps: &[f64], cores: f64) -> Vec<f64> {
             break;
         }
     }
-    alloc
 }
 
 #[cfg(test)]

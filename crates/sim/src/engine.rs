@@ -2,23 +2,49 @@
 //!
 //! Every ongoing piece of work is an [`Activity`] with a remaining volume:
 //! CPU work in reference CPU-seconds, disk and network transfers in bytes.
-//! Whenever the set of activities changes, the engine recomputes every
-//! activity's rate with the fair-sharing models in [`crate::cpufair`] and
-//! [`crate::netfair`], then advances virtual time to the earliest completion
-//! or timer. Completions are *returned* to the caller rather than delivered
-//! through callbacks, so the layers above (HDFS, YARN, the Hi-WAY AM) drive
-//! the simulation with an ordinary poll loop and stay borrow-checker
-//! friendly.
+//! Whenever the set of activities changes, the engine recomputes the
+//! affected activities' rates with the fair-sharing models in
+//! [`crate::cpufair`] and [`crate::netfair`], then advances virtual time to
+//! the earliest completion or timer. Completions are *returned* to the
+//! caller rather than delivered through callbacks, so the layers above
+//! (HDFS, YARN, the Hi-WAY AM) drive the simulation with an ordinary poll
+//! loop and stay borrow-checker friendly.
 //!
-//! Background load (the paper's `stress` processes in the Figure 9
-//! experiment) is modelled as activities with infinite volume: they consume
-//! capacity forever and never complete.
+//! ## Incremental hot path
+//!
+//! Rate refresh is incremental: CPU fair-sharing is independent per node,
+//! so `fair_cores` reruns only for nodes whose compute set changed (dirty
+//! node tracking), and the global max-min network fill reruns only when an
+//! IO activity (flow or disk stream) started, finished, or was cancelled —
+//! compute-only churn no longer pays the O(flows × constraints)
+//! progressive-filling loop. The IO constraint vector is built once at
+//! construction (the cluster spec is immutable) and each activity's
+//! [`FlowPath`] once at `start`, with the filling itself running in a
+//! preallocated [`NetFairWorkspace`].
+//!
+//! Activities live in a slab (dense slots with a free list), so the
+//! per-step settle and completion passes are straight array walks rather
+//! than hash or tree lookups. Event lookup is heap-based: timers sit in a
+//! deadline-ordered binary heap, and activity completions in a
+//! predicted-completion heap whose entries are lazily invalidated (via
+//! per-slot stamps) when an activity's rate changes or its slot is
+//! reused. Remaining volumes are still settled with one subtraction per
+//! finite activity per step — the exact arithmetic of the naive engine
+//! (see [`crate::reference`]), which keeps virtual timestamps bit-for-bit
+//! identical — but background loads (infinite volume, e.g. the paper's
+//! `stress` processes in the Figure 9 experiment) live outside the finite
+//! list, so neither the settle pass nor completion scans ever iterate
+//! them.
+//!
+//! The equivalence contract with the naive engine is enforced by property
+//! tests (`tests/incremental_vs_reference.rs`).
 
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
-use crate::cpufair::fair_cores;
+use crate::cpufair::fair_cores_into;
 use crate::metrics::NodeUsage;
-use crate::netfair::{max_min_rates, Constraint, FlowPath};
+use crate::netfair::{Constraint, FlowPath, NetFairWorkspace};
 use crate::spec::{ClusterSpec, ExternalId, NodeId};
 use crate::time::SimTime;
 
@@ -70,14 +96,22 @@ pub enum Completion<T> {
 }
 
 struct Act<T> {
+    id: u64,
     kind: Activity,
     remaining: f64,
     rate: f64,
     tag: T,
 }
 
+/// One slab slot. The stamp is bumped on every rate assignment *and* on
+/// slot reuse, so completion-heap entries carrying an older stamp — or
+/// pointing at a freed slot — are recognizably stale.
+struct Slot<T> {
+    stamp: u64,
+    act: Option<Act<T>>,
+}
+
 struct Timer<T> {
-    at: SimTime,
     tag: T,
     cancelled: bool,
 }
@@ -97,14 +131,118 @@ fn is_complete(remaining: f64, rate: f64) -> bool {
     remaining <= COMPLETION_EPS.max(rate * COMPLETION_TIME_EPS)
 }
 
+/// Builds the constraint-index path an IO activity traverses. The layout is
+/// fixed at engine construction: per node `[disk_read, disk_write, nic_out,
+/// nic_in]`, then the switch at `switch_idx`, then one aggregate constraint
+/// per external service from `ext_base`. Shared with the naive reference
+/// engine so both build bit-identical max-min inputs.
+#[doc(hidden)]
+pub fn io_flow_path(
+    spec: &ClusterSpec,
+    kind: &Activity,
+    switch_idx: usize,
+    ext_base: usize,
+) -> FlowPath {
+    let disk_r = |n: NodeId| n.index() * 4;
+    let disk_w = |n: NodeId| n.index() * 4 + 1;
+    let nic_out = |n: NodeId| n.index() * 4 + 2;
+    let nic_in = |n: NodeId| n.index() * 4 + 3;
+    match kind {
+        Activity::Compute { .. } => unreachable!("compute has no flow path"),
+        Activity::DiskRead { node } => FlowPath {
+            constraints: vec![disk_r(*node)],
+            rate_cap: None,
+        },
+        Activity::DiskWrite { node } => FlowPath {
+            constraints: vec![disk_w(*node)],
+            rate_cap: None,
+        },
+        Activity::Flow { src, dst, src_disk, dst_disk } => {
+            let mut cs = Vec::with_capacity(5);
+            let mut cap = None;
+            let mut via_switch;
+            match src {
+                Endpoint::Node(n) => {
+                    cs.push(nic_out(*n));
+                    if *src_disk {
+                        cs.push(disk_r(*n));
+                    }
+                    via_switch = true; // may be cleared by a WAN dst
+                }
+                Endpoint::External(e) => {
+                    cs.push(ext_base + e.index());
+                    let ext = &spec.externals[e.index()];
+                    cap = ext.per_flow_bps;
+                    via_switch = ext.via_switch;
+                }
+            }
+            match dst {
+                Endpoint::Node(n) => {
+                    cs.push(nic_in(*n));
+                    if *dst_disk {
+                        cs.push(disk_w(*n));
+                    }
+                }
+                Endpoint::External(e) => {
+                    cs.push(ext_base + e.index());
+                    let ext = &spec.externals[e.index()];
+                    cap = cap.min_opt(ext.per_flow_bps);
+                    if !ext.via_switch {
+                        via_switch = false;
+                    }
+                }
+            }
+            if via_switch && spec.switch_bps.is_some() {
+                cs.push(switch_idx);
+            }
+            FlowPath {
+                constraints: cs,
+                rate_cap: cap,
+            }
+        }
+    }
+}
+
 /// The simulation engine. `T` is the caller's completion tag type.
 pub struct Engine<T> {
     spec: ClusterSpec,
     now: SimTime,
-    acts: BTreeMap<u64, Act<T>>,
-    timers: BTreeMap<u64, Timer<T>>,
+    slab: Vec<Slot<T>>,
+    free: Vec<u32>,
+    id_to_slot: HashMap<u64, u32>,
     next_id: u64,
-    rates_dirty: bool,
+    /// `(id, slot)` of finite-volume activities, id-ascending — the only
+    /// activities that can complete. Background loads (infinite volume)
+    /// are excluded, so settle/completion passes never touch them.
+    finite: Vec<(u64, u32)>,
+    timers: HashMap<u64, Timer<T>>,
+    /// Deadline-ordered timer queue; entries for cancelled timers are
+    /// discarded lazily when they surface.
+    timer_heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Predicted completion instants `(at, slot, stamp)`; an entry whose
+    /// stamp no longer matches the slot's is stale.
+    comp_heap: BinaryHeap<Reverse<(SimTime, u32, u64)>>,
+    /// Per-node flag + worklist of nodes whose compute set changed.
+    cpu_dirty: Vec<bool>,
+    cpu_dirty_list: Vec<u32>,
+    io_dirty: bool,
+    /// Compute activities per node as `(id, slot, threads)`, id-ascending —
+    /// the same member order the naive engine derives from its sorted map.
+    compute_members: Vec<Vec<(u64, u32, f64)>>,
+    /// IO activities `(id, slot)` (id-ascending) with their precomputed
+    /// flow paths, parallel vectors feeding `max_min_rates` directly.
+    io: Vec<(u64, u32)>,
+    io_paths: Vec<FlowPath>,
+    /// IO constraint vector, built once (the cluster spec is immutable).
+    constraints: Vec<Constraint>,
+    switch_idx: usize,
+    ext_base: usize,
+    netfair_ws: NetFairWorkspace,
+    caps_buf: Vec<f64>,
+    alloc_buf: Vec<f64>,
+    order_buf: Vec<usize>,
+    peek_buf: Vec<(SimTime, u32, u64)>,
+    done_buf: Vec<(u64, u32)>,
     usage: Vec<NodeUsage>,
     /// Cached instantaneous per-node totals, refreshed with the rates:
     /// (alloc cores, disk read B/s, disk write B/s, net in B/s, net out B/s).
@@ -114,13 +252,49 @@ pub struct Engine<T> {
 impl<T: Clone> Engine<T> {
     pub fn new(spec: ClusterSpec) -> Engine<T> {
         let n = spec.nodes.len();
+        // Constraint layout: per node [disk_read, disk_write, nic_out,
+        // nic_in], then the optional switch, then one per external service.
+        let mut constraints = Vec::with_capacity(n * 4 + 1 + spec.externals.len());
+        for node in &spec.nodes {
+            constraints.push(Constraint { capacity: node.disk_read_bps });
+            constraints.push(Constraint { capacity: node.disk_write_bps });
+            constraints.push(Constraint { capacity: node.nic_bps });
+            constraints.push(Constraint { capacity: node.nic_bps });
+        }
+        let switch_idx = constraints.len();
+        constraints.push(Constraint {
+            capacity: spec.switch_bps.unwrap_or(f64::INFINITY),
+        });
+        let ext_base = constraints.len();
+        for ext in &spec.externals {
+            constraints.push(Constraint { capacity: ext.aggregate_bps });
+        }
         Engine {
             spec,
             now: SimTime::ZERO,
-            acts: BTreeMap::new(),
-            timers: BTreeMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            id_to_slot: HashMap::new(),
             next_id: 0,
-            rates_dirty: true,
+            finite: Vec::new(),
+            timers: HashMap::new(),
+            timer_heap: BinaryHeap::new(),
+            comp_heap: BinaryHeap::new(),
+            cpu_dirty: vec![false; n],
+            cpu_dirty_list: Vec::new(),
+            io_dirty: false,
+            compute_members: vec![Vec::new(); n],
+            io: Vec::new(),
+            io_paths: Vec::new(),
+            constraints,
+            switch_idx,
+            ext_base,
+            netfair_ws: NetFairWorkspace::default(),
+            caps_buf: Vec::new(),
+            alloc_buf: Vec::new(),
+            order_buf: Vec::new(),
+            peek_buf: Vec::new(),
+            done_buf: Vec::new(),
             usage: vec![NodeUsage::default(); n],
             inst: vec![[0.0; 5]; n],
         }
@@ -134,6 +308,25 @@ impl<T: Clone> Engine<T> {
         &self.spec
     }
 
+    fn mark_cpu_dirty(&mut self, node: u32) {
+        if !self.cpu_dirty[node as usize] {
+            self.cpu_dirty[node as usize] = true;
+            self.cpu_dirty_list.push(node);
+        }
+    }
+
+    fn alloc_slot(&mut self, act: Act<T>) -> u32 {
+        if let Some(s) = self.free.pop() {
+            let slot = &mut self.slab[s as usize];
+            slot.stamp += 1; // orphan any heap entries of prior occupants
+            slot.act = Some(act);
+            s
+        } else {
+            self.slab.push(Slot { stamp: 1, act: Some(act) });
+            (self.slab.len() - 1) as u32
+        }
+    }
+
     /// Starts an activity with `volume` units of work. `f64::INFINITY`
     /// creates a background load that never completes (cancel to stop it).
     pub fn start(&mut self, kind: Activity, volume: f64, tag: T) -> ActivityId {
@@ -144,43 +337,82 @@ impl<T: Clone> Engine<T> {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.acts.insert(
-            id,
-            Act {
-                kind,
-                remaining: volume.max(COMPLETION_EPS / 2.0),
-                rate: 0.0,
-                tag,
-            },
-        );
-        self.rates_dirty = true;
+        let remaining = volume.max(COMPLETION_EPS / 2.0);
+        // Classify before `kind` moves into the slab.
+        let compute = match &kind {
+            Activity::Compute { node, threads } => Some((node.0, *threads)),
+            io => {
+                let path = io_flow_path(&self.spec, io, self.switch_idx, self.ext_base);
+                self.io_paths.push(path);
+                None
+            }
+        };
+        let slot = self.alloc_slot(Act { id, kind, remaining, rate: 0.0, tag });
+        self.id_to_slot.insert(id, slot);
+        if remaining.is_finite() {
+            // Ids are monotone, so a push keeps the list sorted.
+            self.finite.push((id, slot));
+        }
+        match compute {
+            Some((node, threads)) => {
+                self.compute_members[node as usize].push((id, slot, threads));
+                self.mark_cpu_dirty(node);
+            }
+            None => {
+                self.io.push((id, slot));
+                self.io_dirty = true;
+            }
+        }
         ActivityId(id)
+    }
+
+    /// Unlinks a removed activity from the rate-sharing sets and marks the
+    /// affected model dirty.
+    fn detach(&mut self, id: u64, kind: &Activity) {
+        match kind {
+            Activity::Compute { node, .. } => {
+                let members = &mut self.compute_members[node.index()];
+                if let Ok(pos) = members.binary_search_by_key(&id, |&(i, _, _)| i) {
+                    members.remove(pos);
+                }
+                self.mark_cpu_dirty(node.0);
+            }
+            _ => {
+                if let Ok(pos) = self.io.binary_search_by_key(&id, |&(i, _)| i) {
+                    self.io.remove(pos);
+                    self.io_paths.remove(pos);
+                }
+                self.io_dirty = true;
+            }
+        }
     }
 
     /// Cancels a running activity, returning its tag (None if already done).
     pub fn cancel(&mut self, id: ActivityId) -> Option<T> {
-        let act = self.acts.remove(&id.0)?;
-        self.rates_dirty = true;
+        let slot = self.id_to_slot.remove(&id.0)?;
+        let act = self.slab[slot as usize].act.take().expect("slot mapped");
+        self.free.push(slot);
+        self.detach(id.0, &act.kind);
+        if act.remaining.is_finite() {
+            if let Ok(pos) = self.finite.binary_search_by_key(&id.0, |&(i, _)| i) {
+                self.finite.remove(pos);
+            }
+        }
         Some(act.tag)
     }
 
     /// Number of in-flight activities (including background loads).
     pub fn active_count(&self) -> usize {
-        self.acts.len()
+        self.id_to_slot.len()
     }
 
     /// Schedules a timer at absolute time `at` (clamped to now).
     pub fn set_timer(&mut self, at: SimTime, tag: T) -> TimerId {
         let id = self.next_id;
         self.next_id += 1;
-        self.timers.insert(
-            id,
-            Timer {
-                at: at.max(self.now),
-                tag,
-                cancelled: false,
-            },
-        );
+        let at = at.max(self.now);
+        self.timers.insert(id, Timer { tag, cancelled: false });
+        self.timer_heap.push(Reverse((at, id)));
         TimerId(id)
     }
 
@@ -199,10 +431,14 @@ impl<T: Clone> Engine<T> {
     /// Debug: dump remaining activities (id, kind, remaining, rate).
     pub fn debug_activities(&mut self) -> Vec<(u64, String, f64, f64)> {
         self.refresh_rates();
-        self.acts
+        let mut out: Vec<(u64, String, f64, f64)> = self
+            .slab
             .iter()
-            .map(|(id, a)| (*id, format!("{:?}", a.kind), a.remaining, a.rate))
-            .collect()
+            .filter_map(|s| s.act.as_ref())
+            .map(|a| (a.id, format!("{:?}", a.kind), a.remaining, a.rate))
+            .collect();
+        out.sort_by_key(|e| e.0);
+        out
     }
 
     /// Debug: pending (non-cancelled) timer count.
@@ -210,26 +446,92 @@ impl<T: Clone> Engine<T> {
         self.timers.values().filter(|t| !t.cancelled).count()
     }
 
+    /// Earliest predicted activity completion. The heap orders candidates
+    /// by the prediction made at their last rate change; every candidate
+    /// within the float-drift window of the top is re-evaluated from its
+    /// current remaining volume, so the returned instant is exactly the
+    /// naive engine's scan minimum.
+    fn peek_completion(&mut self) -> Option<SimTime> {
+        // Bound stale-entry buildup: rebuild from live activities when the
+        // heap far outgrows them.
+        if self.comp_heap.len() > 64 + 8 * self.finite.len() {
+            self.comp_heap.clear();
+            for &(_, slot) in &self.finite {
+                let s = &self.slab[slot as usize];
+                let a = s.act.as_ref().expect("finite act exists");
+                if a.rate > 0.0 {
+                    let key = if is_complete(a.remaining, a.rate) {
+                        self.now
+                    } else {
+                        self.now + a.remaining / a.rate
+                    };
+                    self.comp_heap.push(Reverse((key, slot, s.stamp)));
+                }
+            }
+        }
+        loop {
+            let &Reverse((key, slot, stamp)) = self.comp_heap.peek()?;
+            {
+                let s = &self.slab[slot as usize];
+                if s.stamp != stamp || s.act.is_none() {
+                    self.comp_heap.pop();
+                    continue;
+                }
+            }
+            // Cached keys may drift from fresh predictions by accumulated
+            // settle rounding; the window is orders of magnitude wider
+            // than that drift and far narrower than real event gaps.
+            let limit = key + (1e-6 + key.as_secs() * 1e-9);
+            let mut best: Option<SimTime> = None;
+            let mut kept = std::mem::take(&mut self.peek_buf);
+            kept.clear();
+            while let Some(&Reverse((k, sl, st))) = self.comp_heap.peek() {
+                if k > limit {
+                    break;
+                }
+                self.comp_heap.pop();
+                let s = &self.slab[sl as usize];
+                if s.stamp == st {
+                    if let Some(a) = s.act.as_ref() {
+                        let fresh = if is_complete(a.remaining, a.rate) {
+                            self.now
+                        } else {
+                            self.now + a.remaining / a.rate
+                        };
+                        best = Some(best.map_or(fresh, |b| b.min(fresh)));
+                        kept.push((k, sl, st));
+                    }
+                }
+            }
+            for e in kept.drain(..) {
+                self.comp_heap.push(Reverse(e));
+            }
+            self.peek_buf = kept;
+            return best;
+        }
+    }
+
+    /// Earliest pending timer deadline, discarding surfaced cancellations.
+    fn peek_timer(&mut self) -> Option<SimTime> {
+        loop {
+            let &Reverse((at, id)) = self.timer_heap.peek()?;
+            match self.timers.get(&id) {
+                Some(t) if !t.cancelled => return Some(at),
+                _ => {
+                    self.timer_heap.pop();
+                    self.timers.remove(&id);
+                }
+            }
+        }
+    }
+
     /// Virtual time of the next completion or timer, if any work is pending.
     pub fn peek_next_time(&mut self) -> Option<SimTime> {
         self.refresh_rates();
-        let mut next: Option<SimTime> = None;
-        for act in self.acts.values() {
-            if act.remaining.is_finite() && act.rate > 0.0 {
-                let t = if is_complete(act.remaining, act.rate) {
-                    self.now // already effectively finished
-                } else {
-                    self.now + act.remaining / act.rate
-                };
-                next = Some(next.map_or(t, |n| n.min(t)));
-            }
+        match (self.peek_completion(), self.peek_timer()) {
+            (Some(a), Some(t)) => Some(a.min(t)),
+            (a, t) => a.or(t),
         }
-        for timer in self.timers.values() {
-            if !timer.cancelled {
-                next = Some(next.map_or(timer.at, |n| n.min(timer.at)));
-            }
-        }
-        next
     }
 
     /// Advances to the next completion/timer instant and returns everything
@@ -240,26 +542,50 @@ impl<T: Clone> Engine<T> {
         self.advance_to(target);
 
         let mut fired = Vec::new();
-        let done: Vec<u64> = self
-            .acts
-            .iter()
-            .filter(|(_, a)| a.remaining.is_finite() && is_complete(a.remaining, a.rate))
-            .map(|(id, _)| *id)
-            .collect();
-        for id in done {
-            let act = self.acts.remove(&id).expect("collected above");
-            fired.push(Completion::Activity {
-                id: ActivityId(id),
-                tag: act.tag,
-            });
-            self.rates_dirty = true;
+        // Only finite activities can complete; `finite` is id-ascending,
+        // so completions fire in creation order like the naive scan.
+        let mut done = std::mem::take(&mut self.done_buf);
+        done.clear();
+        for &(id, slot) in &self.finite {
+            let a = self.slab[slot as usize].act.as_ref().expect("finite act exists");
+            if is_complete(a.remaining, a.rate) {
+                done.push((id, slot));
+            }
         }
-        let due: Vec<u64> = self
-            .timers
-            .iter()
-            .filter(|(_, t)| !t.cancelled && t.at <= self.now)
-            .map(|(id, _)| *id)
-            .collect();
+        if !done.is_empty() {
+            self.finite
+                .retain(|&(id, _)| done.binary_search_by_key(&id, |&(i, _)| i).is_err());
+            for &(id, slot) in &done {
+                let act = self.slab[slot as usize].act.take().expect("collected above");
+                self.free.push(slot);
+                self.id_to_slot.remove(&id);
+                self.detach(id, &act.kind);
+                fired.push(Completion::Activity {
+                    id: ActivityId(id),
+                    tag: act.tag,
+                });
+            }
+        }
+        done.clear();
+        self.done_buf = done;
+
+        let mut due: Vec<u64> = Vec::new();
+        while let Some(&Reverse((at, id))) = self.timer_heap.peek() {
+            if at > self.now {
+                break;
+            }
+            self.timer_heap.pop();
+            match self.timers.get(&id) {
+                // Cancelled timers that have passed are garbage-collected.
+                Some(t) if t.cancelled => {
+                    self.timers.remove(&id);
+                }
+                Some(_) => due.push(id),
+                None => {}
+            }
+        }
+        // The heap surfaces due timers deadline-first; fire in id order.
+        due.sort_unstable();
         for id in due {
             let timer = self.timers.remove(&id).expect("collected above");
             fired.push(Completion::Timer {
@@ -267,9 +593,6 @@ impl<T: Clone> Engine<T> {
                 tag: timer.tag,
             });
         }
-        // Cancelled timers that have passed are garbage-collected here.
-        let now = self.now;
-        self.timers.retain(|_, t| !(t.cancelled && t.at <= now));
         Some(fired)
     }
 
@@ -281,12 +604,11 @@ impl<T: Clone> Engine<T> {
         self.refresh_rates();
         let dt = target - self.now;
         if dt > 0.0 {
-            for act in self.acts.values_mut() {
-                if act.remaining.is_finite() {
-                    act.remaining -= act.rate * dt;
-                    if act.remaining < 0.0 {
-                        act.remaining = 0.0;
-                    }
+            for &(_, slot) in &self.finite {
+                let act = self.slab[slot as usize].act.as_mut().expect("finite act exists");
+                act.remaining -= act.rate * dt;
+                if act.remaining < 0.0 {
+                    act.remaining = 0.0;
                 }
             }
             for (node, inst) in self.inst.iter().enumerate() {
@@ -302,153 +624,86 @@ impl<T: Clone> Engine<T> {
         std::mem::take(&mut self.usage[node.index()])
     }
 
-    /// Recomputes all activity rates if the activity set changed.
+    /// Recomputes the rates invalidated since the last refresh: one
+    /// `fair_cores` run per dirty node, one max-min fill iff the IO set
+    /// changed. Every freshly rated activity gets a new completion-heap
+    /// entry; its previous entries go stale via the stamp bump.
     fn refresh_rates(&mut self) {
-        if !self.rates_dirty {
-            return;
-        }
-        self.rates_dirty = false;
-        for row in self.inst.iter_mut() {
-            *row = [0.0; 5];
-        }
-
-        self.refresh_cpu_rates();
-        self.refresh_io_rates();
-    }
-
-    fn refresh_cpu_rates(&mut self) {
-        // Group compute activities per node, run the water-filling model.
-        let mut per_node: HashMap<u32, Vec<(u64, f64)>> = HashMap::new();
-        for (&id, act) in &self.acts {
-            if let Activity::Compute { node, threads } = act.kind {
-                per_node.entry(node.0).or_default().push((id, threads));
-            }
-        }
-        let mut nodes: Vec<u32> = per_node.keys().copied().collect();
-        nodes.sort_unstable();
-        for n in nodes {
-            let members = &per_node[&n];
-            let spec = &self.spec.nodes[n as usize];
-            let caps: Vec<f64> = members.iter().map(|(_, t)| *t).collect();
-            let alloc = fair_cores(&caps, spec.cores as f64);
+        while let Some(n) = self.cpu_dirty_list.pop() {
+            let n = n as usize;
+            self.cpu_dirty[n] = false;
+            let node_spec = &self.spec.nodes[n];
+            self.caps_buf.clear();
+            self.caps_buf
+                .extend(self.compute_members[n].iter().map(|&(_, _, t)| t));
+            fair_cores_into(
+                &self.caps_buf,
+                node_spec.cores as f64,
+                &mut self.alloc_buf,
+                &mut self.order_buf,
+            );
             let mut total = 0.0;
-            for ((id, _), cores) in members.iter().zip(alloc.iter()) {
-                self.acts.get_mut(id).expect("member exists").rate = cores * spec.speed;
+            for (k, &(_, slot, _)) in self.compute_members[n].iter().enumerate() {
+                let cores = self.alloc_buf[k];
+                let s = &mut self.slab[slot as usize];
+                let act = s.act.as_mut().expect("member exists");
+                act.rate = cores * node_spec.speed;
+                s.stamp += 1;
+                if act.remaining.is_finite() && act.rate > 0.0 {
+                    let key = if is_complete(act.remaining, act.rate) {
+                        self.now
+                    } else {
+                        self.now + act.remaining / act.rate
+                    };
+                    self.comp_heap.push(Reverse((key, slot, s.stamp)));
+                }
                 total += cores;
             }
-            self.inst[n as usize][0] = total;
-        }
-    }
-
-    fn refresh_io_rates(&mut self) {
-        // Constraint layout: per node [disk_read, disk_write, nic_out,
-        // nic_in], then the optional switch, then one per external service.
-        let nn = self.spec.nodes.len();
-        let mut constraints = Vec::with_capacity(nn * 4 + 1 + self.spec.externals.len());
-        for node in &self.spec.nodes {
-            constraints.push(Constraint { capacity: node.disk_read_bps });
-            constraints.push(Constraint { capacity: node.disk_write_bps });
-            constraints.push(Constraint { capacity: node.nic_bps });
-            constraints.push(Constraint { capacity: node.nic_bps });
-        }
-        let switch_idx = constraints.len();
-        constraints.push(Constraint {
-            capacity: self.spec.switch_bps.unwrap_or(f64::INFINITY),
-        });
-        let ext_base = constraints.len();
-        for ext in &self.spec.externals {
-            constraints.push(Constraint { capacity: ext.aggregate_bps });
+            self.inst[n][0] = total;
         }
 
-        let disk_r = |n: NodeId| n.index() * 4;
-        let disk_w = |n: NodeId| n.index() * 4 + 1;
-        let nic_out = |n: NodeId| n.index() * 4 + 2;
-        let nic_in = |n: NodeId| n.index() * 4 + 3;
-
-        let mut ids = Vec::new();
-        let mut paths = Vec::new();
-        for (&id, act) in &self.acts {
-            let path = match &act.kind {
-                Activity::Compute { .. } => continue,
-                Activity::DiskRead { node } => FlowPath {
-                    constraints: vec![disk_r(*node)],
-                    rate_cap: None,
-                },
-                Activity::DiskWrite { node } => FlowPath {
-                    constraints: vec![disk_w(*node)],
-                    rate_cap: None,
-                },
-                Activity::Flow { src, dst, src_disk, dst_disk } => {
-                    let mut cs = Vec::with_capacity(5);
-                    let mut cap = None;
-                    let mut via_switch;
-                    match src {
-                        Endpoint::Node(n) => {
-                            cs.push(nic_out(*n));
+        if self.io_dirty {
+            self.io_dirty = false;
+            let rates = self.netfair_ws.compute(&self.constraints, &self.io_paths);
+            for row in self.inst.iter_mut() {
+                row[1] = 0.0;
+                row[2] = 0.0;
+                row[3] = 0.0;
+                row[4] = 0.0;
+            }
+            for (idx, &(_, slot)) in self.io.iter().enumerate() {
+                let rate = rates[idx];
+                let s = &mut self.slab[slot as usize];
+                let act = s.act.as_mut().expect("flow exists");
+                act.rate = rate;
+                s.stamp += 1;
+                if act.remaining.is_finite() && rate > 0.0 {
+                    let key = if is_complete(act.remaining, rate) {
+                        self.now
+                    } else {
+                        self.now + act.remaining / rate
+                    };
+                    self.comp_heap.push(Reverse((key, slot, s.stamp)));
+                }
+                match &act.kind {
+                    Activity::DiskRead { node } => self.inst[node.index()][1] += rate,
+                    Activity::DiskWrite { node } => self.inst[node.index()][2] += rate,
+                    Activity::Flow { src, dst, src_disk, dst_disk } => {
+                        if let Endpoint::Node(n) = src {
+                            self.inst[n.index()][4] += rate;
                             if *src_disk {
-                                cs.push(disk_r(*n));
+                                self.inst[n.index()][1] += rate;
                             }
-                            via_switch = true; // may be cleared by a WAN dst
                         }
-                        Endpoint::External(e) => {
-                            cs.push(ext_base + e.index());
-                            let ext = &self.spec.externals[e.index()];
-                            cap = ext.per_flow_bps;
-                            via_switch = ext.via_switch;
-                        }
-                    }
-                    match dst {
-                        Endpoint::Node(n) => {
-                            cs.push(nic_in(*n));
+                        if let Endpoint::Node(n) = dst {
+                            self.inst[n.index()][3] += rate;
                             if *dst_disk {
-                                cs.push(disk_w(*n));
-                            }
-                        }
-                        Endpoint::External(e) => {
-                            cs.push(ext_base + e.index());
-                            let ext = &self.spec.externals[e.index()];
-                            cap = cap.min_opt(ext.per_flow_bps);
-                            if !ext.via_switch {
-                                via_switch = false;
+                                self.inst[n.index()][2] += rate;
                             }
                         }
                     }
-                    if via_switch && self.spec.switch_bps.is_some() {
-                        cs.push(switch_idx);
-                    }
-                    FlowPath {
-                        constraints: cs,
-                        rate_cap: cap,
-                    }
+                    Activity::Compute { .. } => unreachable!("not in the IO set"),
                 }
-            };
-            ids.push(id);
-            paths.push(path);
-        }
-
-        let rates = max_min_rates(&constraints, &paths);
-        for (idx, id) in ids.iter().enumerate() {
-            let rate = rates[idx];
-            let act = self.acts.get_mut(id).expect("flow exists");
-            act.rate = rate;
-            match &act.kind {
-                Activity::DiskRead { node } => self.inst[node.index()][1] += rate,
-                Activity::DiskWrite { node } => self.inst[node.index()][2] += rate,
-                Activity::Flow { src, dst, src_disk, dst_disk } => {
-                    if let Endpoint::Node(n) = src {
-                        self.inst[n.index()][4] += rate;
-                        if *src_disk {
-                            self.inst[n.index()][1] += rate;
-                        }
-                    }
-                    if let Endpoint::Node(n) = dst {
-                        self.inst[n.index()][3] += rate;
-                        if *dst_disk {
-                            self.inst[n.index()][2] += rate;
-                        }
-                    }
-                }
-                Activity::Compute { .. } => unreachable!("filtered above"),
             }
         }
     }
@@ -648,5 +903,67 @@ mod tests {
         // Second take returns zeroes.
         let u2 = e.take_usage(NodeId(0));
         assert_eq!(u2.elapsed, 0.0);
+    }
+
+    #[test]
+    fn stale_completion_entries_are_discarded_on_rate_change() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        // The long task's first prediction (t=20 at 1 core) goes stale
+        // when the short task finishes and it doubles its rate.
+        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 4.0, 1);
+        let _long = e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 16.0, 2);
+        assert!((e.peek_next_time().unwrap().as_secs() - 4.0).abs() < 1e-9);
+        e.step().unwrap();
+        // Fresh prediction: 12 remaining at 2 cores -> t = 4 + 6 = 10.
+        assert!((e.peek_next_time().unwrap().as_secs() - 10.0).abs() < 1e-6);
+        e.step().unwrap();
+        assert!((e.now().as_secs() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compute_churn_leaves_io_rates_alone() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        // A disk read shares nothing with compute: starting and finishing
+        // compute work must not perturb its completion time.
+        e.start(Activity::DiskRead { node: NodeId(0) }, 440.0e6, 0);
+        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 1.0, 1);
+        let f1 = e.step().unwrap();
+        assert_eq!(f1.len(), 1, "compute finishes first");
+        assert!((e.now().as_secs() - 1.0).abs() < 1e-6);
+        let f2 = e.step().unwrap();
+        assert_eq!(f2.len(), 1, "disk read unchanged: 440 MB at 220 MB/s");
+        assert!((e.now().as_secs() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn many_cancelled_timers_do_not_linger() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        let ids: Vec<TimerId> = (0..100).map(|i| e.set_timer_after(1.0 + i as f64, i)).collect();
+        for id in &ids[1..] {
+            e.cancel_timer(*id);
+        }
+        assert_eq!(e.debug_timer_count(), 1);
+        let fired = e.step().unwrap();
+        assert_eq!(fired.len(), 1);
+        assert!(matches!(fired[0], Completion::Timer { tag: 0, .. }));
+        assert!(e.step().is_none());
+        assert_eq!(e.debug_timer_count(), 0);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_stale_predictions() {
+        let mut e: Engine<u32> = Engine::new(two_node_cluster());
+        // Create a prediction entry for a task, cancel it (freeing its
+        // slot), then start a different task that reuses the slot. The
+        // stale entry must not surface as the new task's completion.
+        let a = e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 1.0, 1);
+        assert!((e.peek_next_time().unwrap().as_secs() - 1.0).abs() < 1e-9);
+        assert_eq!(e.cancel(a), Some(1));
+        e.start(Activity::Compute { node: NodeId(1), threads: 1.0 }, 50.0, 2);
+        assert!((e.peek_next_time().unwrap().as_secs() - 50.0).abs() < 1e-6);
+        let fired = e.step().unwrap();
+        assert_eq!(fired.len(), 1);
+        assert!(matches!(fired[0], Completion::Activity { tag: 2, .. }));
+        assert!((e.now().as_secs() - 50.0).abs() < 1e-6);
     }
 }

@@ -30,6 +30,8 @@ pub mod cpufair;
 pub mod engine;
 pub mod metrics;
 pub mod netfair;
+#[doc(hidden)]
+pub mod reference;
 pub mod spec;
 pub mod stress;
 pub mod time;

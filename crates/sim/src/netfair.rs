@@ -34,122 +34,161 @@ pub struct FlowPath {
 /// flow's rate can be raised without lowering that of a flow with an equal
 /// or smaller rate).
 pub fn max_min_rates(constraints: &[Constraint], flows: &[FlowPath]) -> Vec<f64> {
-    let nf = flows.len();
-    if nf == 0 {
-        return Vec::new();
-    }
+    let mut ws = NetFairWorkspace::default();
+    ws.compute(constraints, flows).to_vec()
+}
 
-    let mut rates = vec![0.0_f64; nf];
-    let mut frozen = vec![false; nf];
+/// Reusable scratch buffers for [`max_min_rates`]. The engine runs one
+/// refill per IO-set change; holding the workspace across refreshes keeps
+/// the progressive-filling loop allocation-free.
+#[derive(Default)]
+pub struct NetFairWorkspace {
+    rates: Vec<f64>,
+    frozen: Vec<bool>,
+    residual: Vec<f64>,
+    count: Vec<usize>,
+    caps: Vec<f64>,
+    members: Vec<Vec<usize>>,
+    newly_frozen: Vec<bool>,
+}
 
-    // Residual capacity and unfrozen-flow count per constraint. A flow's
-    // private cap is modelled as one extra single-flow constraint.
-    let mut residual: Vec<f64> = constraints.iter().map(|c| c.capacity).collect();
-    let mut count = vec![0usize; constraints.len()];
-    for f in flows {
-        for &c in &f.constraints {
-            count[c] += 1;
+impl NetFairWorkspace {
+    /// [`max_min_rates`] into the workspace's buffers. The returned slice
+    /// is valid until the next `compute` call. Identical arithmetic to the
+    /// free function (which delegates here).
+    pub fn compute(&mut self, constraints: &[Constraint], flows: &[FlowPath]) -> &[f64] {
+        let nf = flows.len();
+        self.rates.clear();
+        if nf == 0 {
+            return &self.rates;
         }
-    }
-    let caps: Vec<f64> = flows
-        .iter()
-        .map(|f| f.rate_cap.unwrap_or(f64::INFINITY))
-        .collect();
 
-    // Constraint → member-flow index, so freezing on saturation is
-    // O(members) instead of a scan over every flow (the Figure 4
-    // experiment runs hundreds of concurrent flows).
-    let mut members: Vec<Vec<usize>> = vec![Vec::new(); constraints.len()];
-    for (fi, f) in flows.iter().enumerate() {
-        for &c in &f.constraints {
-            members[c].push(fi);
-        }
-    }
+        self.rates.resize(nf, 0.0);
+        self.frozen.clear();
+        self.frozen.resize(nf, false);
+        let rates = &mut self.rates;
+        let frozen = &mut self.frozen;
 
-    let mut unfrozen = nf;
-    while unfrozen > 0 {
-        // Smallest uniform increment that saturates a constraint or a cap.
-        let mut inc = f64::INFINITY;
-        for (i, c) in residual.iter().enumerate() {
-            if count[i] > 0 && c.is_finite() {
-                inc = inc.min(c / count[i] as f64);
+        // Residual capacity and unfrozen-flow count per constraint. A
+        // flow's private cap is modelled as one extra single-flow
+        // constraint.
+        self.residual.clear();
+        self.residual.extend(constraints.iter().map(|c| c.capacity));
+        let residual = &mut self.residual;
+        self.count.clear();
+        self.count.resize(constraints.len(), 0);
+        let count = &mut self.count;
+        for f in flows {
+            for &c in &f.constraints {
+                count[c] += 1;
             }
         }
-        for i in 0..nf {
-            if !frozen[i] && caps[i].is_finite() {
-                inc = inc.min(caps[i] - rates[i]);
+        self.caps.clear();
+        self.caps
+            .extend(flows.iter().map(|f| f.rate_cap.unwrap_or(f64::INFINITY)));
+        let caps = &mut self.caps;
+
+        // Constraint → member-flow index, so freezing on saturation is
+        // O(members) instead of a scan over every flow (the Figure 4
+        // experiment runs hundreds of concurrent flows).
+        if self.members.len() < constraints.len() {
+            self.members.resize_with(constraints.len(), Vec::new);
+        }
+        for m in self.members.iter_mut() {
+            m.clear();
+        }
+        let members = &mut self.members;
+        for (fi, f) in flows.iter().enumerate() {
+            for &c in &f.constraints {
+                members[c].push(fi);
             }
         }
-        if !inc.is_finite() {
-            // No binding constraint: remaining flows are unconstrained.
-            for i in 0..nf {
-                if !frozen[i] {
-                    rates[i] = UNCONSTRAINED_BPS;
-                    frozen[i] = true;
+
+        let mut unfrozen = nf;
+        while unfrozen > 0 {
+            // Smallest uniform increment saturating a constraint or a cap.
+            let mut inc = f64::INFINITY;
+            for (i, c) in residual.iter().enumerate() {
+                if count[i] > 0 && c.is_finite() {
+                    inc = inc.min(c / count[i] as f64);
                 }
             }
-            break;
-        }
-
-        // Raise every unfrozen flow by `inc` and charge the constraints.
-        for i in 0..nf {
-            if !frozen[i] {
-                rates[i] += inc;
+            for i in 0..nf {
+                if !frozen[i] && caps[i].is_finite() {
+                    inc = inc.min(caps[i] - rates[i]);
+                }
             }
-        }
-        for (i, r) in residual.iter_mut().enumerate() {
-            if count[i] > 0 {
-                *r -= inc * count[i] as f64;
+            if !inc.is_finite() {
+                // No binding constraint: remaining flows are unconstrained.
+                for i in 0..nf {
+                    if !frozen[i] {
+                        rates[i] = UNCONSTRAINED_BPS;
+                        frozen[i] = true;
+                    }
+                }
+                break;
             }
-        }
 
-        // Freeze flows on saturated constraints or at their private cap.
-        // Thresholds are *relative* to the capacity: with capacities in
-        // the 1e9 range, the float error of repeated subtraction can
-        // exceed any fixed absolute epsilon.
-        let mut newly_frozen = vec![false; nf];
-        for (ci, r) in residual.iter().enumerate() {
-            let eps = 1e-6 + constraints[ci].capacity.abs() * 1e-9;
-            if count[ci] > 0 && constraints[ci].capacity.is_finite() && *r <= eps {
-                for &fi in &members[ci] {
-                    if !frozen[fi] {
+            // Raise every unfrozen flow by `inc`; charge the constraints.
+            for i in 0..nf {
+                if !frozen[i] {
+                    rates[i] += inc;
+                }
+            }
+            for (i, r) in residual.iter_mut().enumerate() {
+                if count[i] > 0 {
+                    *r -= inc * count[i] as f64;
+                }
+            }
+
+            // Freeze flows on saturated constraints or at their private
+            // cap. Thresholds are *relative* to the capacity: with
+            // capacities in the 1e9 range, the float error of repeated
+            // subtraction can exceed any fixed absolute epsilon.
+            self.newly_frozen.clear();
+            self.newly_frozen.resize(nf, false);
+            let newly_frozen = &mut self.newly_frozen;
+            for (ci, r) in residual.iter().enumerate() {
+                let eps = 1e-6 + constraints[ci].capacity.abs() * 1e-9;
+                if count[ci] > 0 && constraints[ci].capacity.is_finite() && *r <= eps {
+                    for &fi in &members[ci] {
+                        if !frozen[fi] {
+                            newly_frozen[fi] = true;
+                        }
+                    }
+                }
+            }
+            for (fi, rate) in rates.iter().enumerate() {
+                if !frozen[fi] && caps[fi].is_finite() {
+                    let eps = 1e-9 + caps[fi].abs() * 1e-9;
+                    if *rate >= caps[fi] - eps {
                         newly_frozen[fi] = true;
                     }
                 }
             }
-        }
-        for (fi, rate) in rates.iter().enumerate() {
-            if !frozen[fi] && caps[fi].is_finite() {
-                let eps = 1e-9 + caps[fi].abs() * 1e-9;
-                if *rate >= caps[fi] - eps {
-                    newly_frozen[fi] = true;
-                }
-            }
-        }
 
-        let mut progress = false;
-        for fi in 0..nf {
-            if newly_frozen[fi] {
-                frozen[fi] = true;
-                unfrozen -= 1;
-                progress = true;
-                for &c in &flows[fi].constraints {
-                    count[c] -= 1;
+            let mut progress = false;
+            for fi in 0..nf {
+                if newly_frozen[fi] {
+                    frozen[fi] = true;
+                    unfrozen -= 1;
+                    progress = true;
+                    for &c in &flows[fi].constraints {
+                        count[c] -= 1;
+                    }
                 }
             }
-        }
-        if !progress {
-            // Numeric fallback: the increment was swallowed by rounding.
-            // Freeze everything at the current (feasible) rates — this
-            // sacrifices at most an epsilon of max-min optimality while
-            // guaranteeing termination.
-            for fi in 0..nf {
-                frozen[fi] = true;
+            if !progress {
+                // Numeric fallback: the increment was swallowed by
+                // rounding. Freeze everything at the current (feasible)
+                // rates — this sacrifices at most an epsilon of max-min
+                // optimality while guaranteeing termination.
+                frozen[..nf].fill(true);
+                break;
             }
-            break;
         }
+        &self.rates
     }
-    rates
 }
 
 #[cfg(test)]

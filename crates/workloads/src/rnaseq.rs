@@ -150,12 +150,17 @@ impl RnaseqParams {
         m
     }
 
-    /// Files to stage before execution: `(path, size)`.
+    /// Files to stage before execution: `(path, size)`, in a stable order.
+    /// (Iterating the bindings map directly would prestage in hash order,
+    /// which perturbs the HDFS placement RNG from run to run.)
     pub fn input_files(&self) -> Vec<(String, u64)> {
-        self.input_bindings()
+        let mut files: Vec<(String, u64)> = self
+            .input_bindings()
             .into_values()
             .map(|b| (b.path, b.size))
-            .collect()
+            .collect();
+        files.sort();
+        files
     }
 
     /// Tool cost profiles calibrated against Figure 8: on one 8-core
