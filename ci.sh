@@ -9,6 +9,11 @@ cd "$(dirname "$0")"
 echo "==> build (release)"
 cargo build --release --workspace
 
+echo "==> rustfmt (first-party crates; compat/ shims are vendored as-is)"
+cargo fmt --check -p hiway -p hiway-sim -p hiway-hdfs -p hiway-yarn \
+  -p hiway-format -p hiway-lang -p hiway-provdb -p hiway-core \
+  -p hiway-workloads -p hiway-recipes -p hiway-bench
+
 echo "==> tests"
 cargo test -q --workspace
 
@@ -20,5 +25,20 @@ cargo clippy --all-targets -p hiway -p hiway-sim -p hiway-hdfs -p hiway-yarn \
 echo "==> engine benchmark smoke"
 ./target/release/bench_engine --quick BENCH_engine.json
 cat BENCH_engine.json
+
+echo "==> chaos determinism gate (same seed, twice, byte-identical)"
+./target/release/chaos > /tmp/chaos_run1.txt
+./target/release/chaos > /tmp/chaos_run2.txt
+if ! cmp -s /tmp/chaos_run1.txt /tmp/chaos_run2.txt; then
+  echo "FAIL: chaos experiment is not deterministic across runs" >&2
+  diff /tmp/chaos_run1.txt /tmp/chaos_run2.txt >&2 || true
+  exit 1
+fi
+if ! cmp -s /tmp/chaos_run1.txt results/chaos.txt; then
+  echo "FAIL: chaos output drifted from results/chaos.txt" >&2
+  diff results/chaos.txt /tmp/chaos_run1.txt >&2 || true
+  exit 1
+fi
+echo "chaos deterministic, matches results/chaos.txt"
 
 echo "CI OK"

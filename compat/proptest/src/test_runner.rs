@@ -52,6 +52,19 @@ impl Config {
     pub fn with_cases(cases: u32) -> Config {
         Config { cases }
     }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable (as in upstream proptest) overrides the configured value,
+    /// so CI can crank scheduled runs up without touching test code.
+    fn effective_cases(&self) -> u32 {
+        parse_cases_override(std::env::var("PROPTEST_CASES").ok().as_deref())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// Parses a `PROPTEST_CASES`-style override; garbage and zero disable it.
+fn parse_cases_override(var: Option<&str>) -> Option<u32> {
+    var.and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0)
 }
 
 impl Default for Config {
@@ -111,15 +124,19 @@ impl TestRunner {
         }
     }
 
-    /// Generate `config.cases` inputs and run `test` on each; the first
-    /// failure aborts with the generated input in the message.
+    /// Generate `config.cases` inputs (or `PROPTEST_CASES` of them) and
+    /// run `test` on each; the first failure aborts with the generated
+    /// input in the message. When `PROPTEST_FAILURE_DIR` is set, the
+    /// failure report is also written to `<dir>/<test-thread-name>.txt`
+    /// so CI can upload failing cases as artifacts.
     pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
     where
         S: Strategy,
         S::Value: std::fmt::Debug,
         F: Fn(S::Value) -> TestCaseResult,
     {
-        for case in 0..self.config.cases {
+        let cases = self.config.effective_cases();
+        for case in 0..cases {
             let value = strategy.new_value(&mut self.rng);
             let mut shown = format!("{value:?}");
             if shown.len() > 600 {
@@ -128,17 +145,69 @@ impl TestRunner {
                 shown.push_str("…");
             }
             if let Err(err) = test(value) {
-                return Err(TestError {
-                    message: format!(
-                        "property failed at case {}/{}: {}\ninput: {}",
-                        case + 1,
-                        self.config.cases,
-                        err.message,
-                        shown
-                    ),
-                });
+                let message = format!(
+                    "property failed at case {}/{}: {}\ninput: {}",
+                    case + 1,
+                    cases,
+                    err.message,
+                    shown
+                );
+                persist_failure(&message);
+                return Err(TestError { message });
             }
         }
         Ok(())
+    }
+}
+
+/// Writes a failure report under `$PROPTEST_FAILURE_DIR`, named after the
+/// test thread (which libtest names after the test function). The fixed
+/// generation seed plus the recorded case index makes every dumped
+/// failure reproducible with `PROPTEST_CASES=<n> cargo test <name>`.
+fn persist_failure(message: &str) {
+    let Ok(dir) = std::env::var("PROPTEST_FAILURE_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let _ = std::fs::create_dir_all(&dir);
+    let thread = std::thread::current();
+    let name = thread
+        .name()
+        .unwrap_or("unnamed-test")
+        .replace("::", "_")
+        .replace(['/', '\\'], "_");
+    let _ = std::fs::write(format!("{dir}/{name}.txt"), message);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_override_parsing() {
+        assert_eq!(parse_cases_override(None), None);
+        assert_eq!(parse_cases_override(Some("5000")), Some(5000));
+        assert_eq!(parse_cases_override(Some(" 192 ")), Some(192));
+        assert_eq!(parse_cases_override(Some("not-a-number")), None);
+        assert_eq!(parse_cases_override(Some("0")), None, "zero cases is nonsense");
+        assert_eq!(parse_cases_override(Some("")), None);
+    }
+
+    #[test]
+    fn failure_reports_name_the_case_and_input() {
+        let mut runner = TestRunner::new(Config::with_cases(10));
+        let err = runner
+            .run(&(0u64..100), |v| {
+                if v < 90 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("too big"))
+                }
+            })
+            .expect_err("some draw in [90,100) must occur within 10 cases — fixed seed");
+        assert!(err.message.contains("too big"), "{}", err.message);
+        assert!(err.message.contains("input:"), "{}", err.message);
     }
 }

@@ -46,7 +46,10 @@ fn bench_fig6(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sample_two_sizes", |b| {
         b.iter(|| {
-            fig6::run(&fig6::Fig6Params { worker_counts: vec![1, 2] }).expect("fig6")
+            fig6::run(&fig6::Fig6Params {
+                worker_counts: vec![1, 2],
+            })
+            .expect("fig6")
         })
     });
     group.finish();
@@ -57,7 +60,10 @@ fn bench_fig8(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("1_and_6_nodes", |b| {
         b.iter(|| {
-            let params = fig8::Fig8Params { node_counts: vec![1, 6], runs: 1 };
+            let params = fig8::Fig8Params {
+                node_counts: vec![1, 6],
+                runs: 1,
+            };
             fig8::run(&params).expect("fig8")
         })
     });

@@ -24,7 +24,10 @@ fn measure(runs: usize, f: impl Fn() -> DriveResult) -> Measured {
         assert_eq!(r, result, "benchmark run was not deterministic");
         best = best.min(dt);
     }
-    Measured { result, best_secs: best }
+    Measured {
+        result,
+        best_secs: best,
+    }
 }
 
 fn main() {

@@ -4,7 +4,9 @@ use hiway_bench::experiments::fig6;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        fig6::Fig6Params { worker_counts: vec![1, 2, 4, 8] }
+        fig6::Fig6Params {
+            worker_counts: vec![1, 2, 4, 8],
+        }
     } else {
         fig6::Fig6Params::default()
     };

@@ -4,7 +4,10 @@ use hiway_bench::experiments::fig8;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        fig8::Fig8Params { node_counts: vec![1, 2, 4, 6], runs: 1 }
+        fig8::Fig8Params {
+            node_counts: vec![1, 2, 4, 6],
+            runs: 1,
+        }
     } else {
         fig8::Fig8Params::default()
     };

@@ -4,7 +4,11 @@ use hiway_bench::experiments::fig9;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        fig9::Fig9Params { workers: 11, repetitions: 5, consecutive_heft_runs: 13 }
+        fig9::Fig9Params {
+            workers: 11,
+            repetitions: 5,
+            consecutive_heft_runs: 13,
+        }
     } else {
         fig9::Fig9Params::default()
     };

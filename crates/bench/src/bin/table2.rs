@@ -4,7 +4,10 @@ use hiway_bench::experiments::table2;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        table2::Table2Params { worker_counts: vec![1, 2, 4, 8], runs: 1 }
+        table2::Table2Params {
+            worker_counts: vec![1, 2, 4, 8],
+            runs: 1,
+        }
     } else {
         table2::Table2Params::default()
     };

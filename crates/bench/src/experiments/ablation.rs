@@ -63,7 +63,12 @@ pub fn data_awareness(seed: u64) -> Result<AblationRow, String> {
             write_trace: false,
             ..HiwayConfig::default()
         };
-        run_one(&mut deployment.runtime, Box::new(source), config, ProvDb::new())
+        run_one(
+            &mut deployment.runtime,
+            Box::new(source),
+            config,
+            ProvDb::new(),
+        )
     };
     Ok(AblationRow {
         name: "scheduler data-awareness (96 containers, 1 GbE switch)",
@@ -83,11 +88,13 @@ pub fn adaptive_estimates(seed: u64) -> Result<AblationRow, String> {
         let mut last = 0.0;
         // Three consecutive runs; the third has warm estimates.
         for k in 0..3 {
-            let mut deployment =
-                profiles::ec2_cluster(11, &NodeSpec::m3_large("proto"), seed + k);
+            let mut deployment = profiles::ec2_cluster(11, &NodeSpec::m3_large("proto"), seed + k);
             let workers = deployment.worker_ids();
             for (i, &level) in [1u32, 2, 3, 4, 6].iter().enumerate() {
-                deployment.runtime.cluster.add_cpu_stress(workers[1 + i], level);
+                deployment
+                    .runtime
+                    .cluster
+                    .add_cpu_stress(workers[1 + i], level);
                 deployment
                     .runtime
                     .cluster
@@ -104,7 +111,12 @@ pub fn adaptive_estimates(seed: u64) -> Result<AblationRow, String> {
                 write_trace: false,
                 ..HiwayConfig::default()
             };
-            last = run_one(&mut deployment.runtime, Box::new(source), config, shared_db.clone())?;
+            last = run_one(
+                &mut deployment.runtime,
+                Box::new(source),
+                config,
+                shared_db.clone(),
+            )?;
         }
         Ok(last)
     };
@@ -137,7 +149,12 @@ pub fn tailored_containers(seed: u64) -> Result<AblationRow, String> {
         }
         config.seed = seed;
         config.write_trace = false;
-        run_one(&mut deployment.runtime, Box::new(source), config, ProvDb::new())
+        run_one(
+            &mut deployment.runtime,
+            Box::new(source),
+            config,
+            ProvDb::new(),
+        )
     };
     Ok(AblationRow {
         name: "container sizing (SNV, mixed thread counts, 3 nodes)",

@@ -1,0 +1,288 @@
+//! Chaos experiment: Hi-WAY's fault tolerance under injected failures.
+//!
+//! Not a figure from the paper — §3.3 describes the AM's fault tolerance
+//! ("execution of the workflow need not be interrupted … resubmitting
+//! failed tasks, provisioning additional containers") but the evaluation
+//! never measures it. This experiment does: the Montage workflow runs on
+//! an EC2-profile cluster while a seeded [`FaultPlan`] crashes and
+//! recovers worker nodes, preempts containers, kills DataNode disks
+//! (forcing re-replication), and throttles nodes with CPU-contention
+//! windows; the AM additionally suffers transient tool crashes. Swept
+//! over a fault-intensity knob, it reports, per intensity:
+//!
+//! * **completion rate** — fraction of repetitions that still finished;
+//! * **makespan inflation** — median runtime relative to intensity 0;
+//! * **wasted container-seconds** — work burnt in failed attempts and
+//!   cancelled speculative duplicates;
+//! * failure/recovery counters (infra vs. task failures, speculative
+//!   duplicates, faults actually injected).
+//!
+//! Everything is seeded: the same binary produces byte-identical output
+//! across runs (CI executes it twice and diffs), and intensity 0.0
+//! degenerates to a fault-free run — the injector adds nothing.
+
+use hiway_core::faults::{FaultConfig, FaultInjector, FaultPlan};
+use hiway_core::{HiwayConfig, SchedulerPolicy};
+use hiway_lang::dax::parse_dax;
+use hiway_provdb::ProvDb;
+use hiway_sim::NodeSpec;
+use hiway_workloads::montage::MontageParams;
+use hiway_workloads::profiles;
+use hiway_yarn::Resource;
+
+use crate::experiments::common;
+use crate::stats::Summary;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct ChaosParams {
+    pub workers: usize,
+    /// Repetitions (independent seeds) per intensity.
+    pub repetitions: usize,
+    /// Fault-intensity knob values; 0.0 must be present (the baseline all
+    /// inflation numbers are relative to).
+    pub intensities: Vec<f64>,
+}
+
+impl Default for ChaosParams {
+    fn default() -> ChaosParams {
+        ChaosParams {
+            workers: 8,
+            repetitions: 10,
+            intensities: vec![0.0, 0.5, 1.0, 2.0],
+        }
+    }
+}
+
+/// Outcome of one repetition.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosCell {
+    pub completed: bool,
+    pub makespan_secs: f64,
+    pub wasted_container_secs: f64,
+    pub infra_failures: u32,
+    pub task_failures: u32,
+    pub speculative_attempts: u32,
+    /// Faults the injector actually applied (safety rules may skip some).
+    pub faults_injected: usize,
+}
+
+/// Results: `cells[i]` holds the repetitions of `intensities[i]`.
+#[derive(Clone, Debug)]
+pub struct ChaosResult {
+    pub intensities: Vec<f64>,
+    pub cells: Vec<Vec<ChaosCell>>,
+}
+
+/// The fault scenario for one repetition. Recovery is quick relative to
+/// the ~3-minute Montage makespan so crashed nodes return mid-run.
+fn fault_config(seed: u64, intensity: f64) -> FaultConfig {
+    FaultConfig {
+        recovery_secs: 60.0,
+        straggler_secs: 45.0,
+        straggler_procs: 8,
+        ..FaultConfig::with_intensity(seed, intensity)
+    }
+}
+
+fn chaos_am_config(seed: u64, task_failure_prob: f64) -> HiwayConfig {
+    HiwayConfig {
+        container_resource: Resource::new(1, 2048),
+        scheduler: SchedulerPolicy::DataAware,
+        task_failure_prob,
+        // Recovery machinery under test: fast retries, strike-based node
+        // avoidance, and straggler re-execution.
+        retry_backoff_secs: 2.0,
+        retry_backoff_max_secs: 32.0,
+        blacklist_strikes: 2,
+        blacklist_decay_secs: 90.0,
+        speculative_execution: true,
+        speculation_factor: 2.0,
+        speculation_min_secs: 8.0,
+        seed,
+        write_trace: false,
+        ..HiwayConfig::default()
+    }
+}
+
+/// Runs one seeded repetition at one intensity.
+pub fn run_cell(workers: usize, intensity: f64, seed: u64) -> Result<ChaosCell, String> {
+    let montage = MontageParams::default();
+    let mut deployment = profiles::ec2_cluster(workers, &NodeSpec::m3_large("proto"), seed);
+    for (path, size) in montage.input_files() {
+        deployment.runtime.cluster.prestage(&path, size);
+    }
+    let fc = fault_config(seed ^ 0x000f_a417, intensity);
+    let source = parse_dax(&montage.dax_source()).map_err(|e| e.to_string())?;
+    let idx = deployment.runtime.submit(
+        Box::new(source),
+        chaos_am_config(seed, fc.task_failure_prob),
+        ProvDb::new(),
+    );
+    let workers_ids = deployment.worker_ids();
+    let plan = FaultPlan::generate(&fc, &workers_ids);
+    let mut injector = FaultInjector::new(plan, workers_ids);
+    let reports = injector.run(&mut deployment.runtime);
+    let report = &reports[idx];
+    Ok(ChaosCell {
+        completed: deployment.runtime.error_of(idx).is_none(),
+        makespan_secs: report.runtime_secs(),
+        wasted_container_secs: report.wasted_container_secs,
+        infra_failures: report.infra_failures,
+        task_failures: report.task_failures,
+        speculative_attempts: report.speculative_attempts,
+        faults_injected: injector.injected.len(),
+    })
+}
+
+/// Runs the sweep; repetitions fan out across threads and merge back in
+/// submission order, so output is byte-identical however many threads run.
+pub fn run(params: &ChaosParams) -> Result<ChaosResult, String> {
+    let mut jobs = Vec::new();
+    for (i, &intensity) in params.intensities.iter().enumerate() {
+        for rep in 0..params.repetitions {
+            let seed = 11_000 + rep as u64 * 131 + i as u64 * 7_919;
+            jobs.push((i, intensity, seed));
+        }
+    }
+    let outcomes = common::par_map(jobs, |(i, intensity, seed)| {
+        run_cell(params.workers, intensity, seed).map(|c| (i, c))
+    });
+    let mut cells: Vec<Vec<ChaosCell>> = vec![Vec::new(); params.intensities.len()];
+    for outcome in outcomes {
+        let (i, cell) = outcome?;
+        cells[i].push(cell);
+    }
+    Ok(ChaosResult {
+        intensities: params.intensities.clone(),
+        cells,
+    })
+}
+
+/// Renders the sweep as a text table.
+pub fn render(result: &ChaosResult) -> String {
+    let baseline = result
+        .intensities
+        .iter()
+        .position(|i| *i == 0.0)
+        .map(|i| completed_makespans(&result.cells[i]))
+        .map(|m| Summary::of(&m).median)
+        .unwrap_or(0.0);
+    let mut rows = Vec::new();
+    for (i, cells) in result.cells.iter().enumerate() {
+        let n = cells.len().max(1);
+        let done = cells.iter().filter(|c| c.completed).count();
+        let makespans = completed_makespans(cells);
+        let median = Summary::of(&makespans).median;
+        let inflation = if baseline > 0.0 && !makespans.is_empty() {
+            median / baseline
+        } else {
+            f64::NAN
+        };
+        let mean = |f: &dyn Fn(&ChaosCell) -> f64| cells.iter().map(f).sum::<f64>() / n as f64;
+        rows.push(vec![
+            format!("{:.2}", result.intensities[i]),
+            format!("{done}/{n}"),
+            format!("{:.0}%", 100.0 * done as f64 / n as f64),
+            if makespans.is_empty() {
+                "-".into()
+            } else {
+                format!("{median:.1}")
+            },
+            if inflation.is_nan() {
+                "-".into()
+            } else {
+                format!("{inflation:.2}x")
+            },
+            format!("{:.0}", mean(&|c| c.wasted_container_secs)),
+            format!("{:.1}", mean(&|c| c.infra_failures as f64)),
+            format!("{:.1}", mean(&|c| c.task_failures as f64)),
+            format!("{:.1}", mean(&|c| c.speculative_attempts as f64)),
+            format!("{:.1}", mean(&|c| c.faults_injected as f64)),
+        ]);
+    }
+    common::render_table(
+        &[
+            "intensity",
+            "completed",
+            "rate",
+            "makespan med (s)",
+            "inflation",
+            "wasted (cs)",
+            "infra f",
+            "task f",
+            "spec",
+            "faults",
+        ],
+        &rows,
+    )
+}
+
+fn completed_makespans(cells: &[ChaosCell]) -> Vec<f64> {
+    cells
+        .iter()
+        .filter(|c| c.completed)
+        .map(|c| c.makespan_secs)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiway_core::driver::Runtime;
+
+    /// One plain (no-injector) Montage run with the chaos AM config.
+    fn plain_run(workers: usize, seed: u64) -> (bool, f64) {
+        let montage = MontageParams::default();
+        let mut deployment = profiles::ec2_cluster(workers, &NodeSpec::m3_large("proto"), seed);
+        for (path, size) in montage.input_files() {
+            deployment.runtime.cluster.prestage(&path, size);
+        }
+        let source = parse_dax(&montage.dax_source()).unwrap();
+        let idx =
+            deployment
+                .runtime
+                .submit(Box::new(source), chaos_am_config(seed, 0.0), ProvDb::new());
+        let runtime: &mut Runtime = &mut deployment.runtime;
+        let reports = runtime.run_to_completion();
+        (runtime.error_of(idx).is_none(), reports[idx].runtime_secs())
+    }
+
+    #[test]
+    fn zero_intensity_reproduces_fault_free_baseline() {
+        // An empty fault plan must leave the run bit-identical to a plain
+        // run_to_completion with the same seeds.
+        let cell = run_cell(6, 0.0, 4242).unwrap();
+        let (ok, makespan) = plain_run(6, 4242);
+        assert!(cell.completed && ok);
+        assert_eq!(
+            cell.makespan_secs, makespan,
+            "injector must be a no-op at rate 0"
+        );
+        assert_eq!(cell.infra_failures, 0);
+        assert_eq!(cell.task_failures, 0);
+        assert_eq!(cell.faults_injected, 0);
+    }
+
+    #[test]
+    fn chaos_runs_complete_under_moderate_faults() {
+        // Under a moderate plan the workflow should survive via retries —
+        // and actually absorb some injected faults.
+        let cell = run_cell(8, 1.0, 11_000).unwrap();
+        assert!(cell.faults_injected > 0, "plan unexpectedly empty");
+        assert!(cell.completed, "moderate chaos should be survivable");
+        assert!(cell.makespan_secs > 0.0);
+    }
+
+    #[test]
+    fn chaos_sweep_is_deterministic() {
+        let params = ChaosParams {
+            workers: 6,
+            repetitions: 2,
+            intensities: vec![0.0, 1.0],
+        };
+        let a = render(&run(&params).unwrap());
+        let b = render(&run(&params).unwrap());
+        assert_eq!(a, b);
+    }
+}

@@ -68,8 +68,7 @@ where
     let len = items.len();
     let queue: std::sync::Mutex<Vec<(usize, T)>> =
         std::sync::Mutex::new(items.into_iter().enumerate().collect());
-    let results: std::sync::Mutex<Vec<(usize, R)>> =
-        std::sync::Mutex::new(Vec::with_capacity(len));
+    let results: std::sync::Mutex<Vec<(usize, R)>> = std::sync::Mutex::new(Vec::with_capacity(len));
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -104,7 +103,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             .join("  ")
     };
     let mut out = String::new();
-    out.push_str(&line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push_str(&line(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');
@@ -123,12 +124,9 @@ mod tests {
     #[test]
     fn materialize_static_cuneiform() {
         let params = SnvParams::fig4(2);
-        let wf = hiway_lang::cuneiform::CuneiformWorkflow::parse(
-            "snv",
-            &params.cuneiform_source(),
-            1,
-        )
-        .unwrap();
+        let wf =
+            hiway_lang::cuneiform::CuneiformWorkflow::parse("snv", &params.cuneiform_source(), 1)
+                .unwrap();
         let static_wf = materialize(Box::new(wf)).unwrap();
         assert_eq!(static_wf.tasks.len(), params.expected_tasks());
         static_wf.validate().unwrap();

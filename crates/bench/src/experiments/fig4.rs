@@ -118,7 +118,12 @@ fn run_hiway(
         write_trace: false, // not measured; avoids huge trace strings
         ..HiwayConfig::default()
     };
-    run_one(&mut deployment.runtime, Box::new(source), config, ProvDb::new())
+    run_one(
+        &mut deployment.runtime,
+        Box::new(source),
+        config,
+        ProvDb::new(),
+    )
 }
 
 fn run_tez_baseline(
@@ -164,7 +169,13 @@ pub fn run_probe(params: &Fig4Params, containers: u32) -> Result<(f64, f64, f64,
 fn net_gb(runtime: &mut hiway_core::driver::Runtime) -> f64 {
     let n = runtime.cluster.node_count();
     (0..n)
-        .map(|i| runtime.cluster.engine.take_usage(NodeId(i as u32)).net_out_bytes)
+        .map(|i| {
+            runtime
+                .cluster
+                .engine
+                .take_usage(NodeId(i as u32))
+                .net_out_bytes
+        })
         .sum::<f64>()
         / 1.0e9
 }
@@ -194,7 +205,12 @@ fn run_hiway_probe(
         write_trace: false,
         ..HiwayConfig::default()
     };
-    let secs = run_one(&mut deployment.runtime, Box::new(source), config, ProvDb::new())?;
+    let secs = run_one(
+        &mut deployment.runtime,
+        Box::new(source),
+        config,
+        ProvDb::new(),
+    )?;
     Ok((secs, net_gb(&mut deployment.runtime)))
 }
 

@@ -44,7 +44,12 @@ pub fn run(params: &Fig6Params) -> Result<Vec<Fig6Row>, String> {
         let hadoop_master = runtime.cluster.engine.take_usage(NodeId(0)).sample();
         let hiway_am = runtime.cluster.engine.take_usage(NodeId(1)).sample();
         let worker = runtime.cluster.engine.take_usage(NodeId(2)).sample();
-        rows.push(Fig6Row { workers, hadoop_master, hiway_am, worker });
+        rows.push(Fig6Row {
+            workers,
+            hadoop_master,
+            hiway_am,
+            worker,
+        });
     }
     Ok(rows)
 }
@@ -70,16 +75,8 @@ pub fn render(rows: &[Fig6Row]) -> String {
         .collect();
     crate::experiments::common::render_table(
         &[
-            "workers",
-            "hdp cpu",
-            "hdp io",
-            "hdp MB/s",
-            "am cpu",
-            "am io",
-            "am MB/s",
-            "wrk cpu",
-            "wrk io",
-            "wrk MB/s",
+            "workers", "hdp cpu", "hdp io", "hdp MB/s", "am cpu", "am io", "am MB/s", "wrk cpu",
+            "wrk io", "wrk MB/s",
         ],
         &body,
     )
@@ -91,7 +88,9 @@ mod tests {
 
     #[test]
     fn masters_stay_idle_while_workers_saturate() {
-        let params = Fig6Params { worker_counts: vec![1, 4] };
+        let params = Fig6Params {
+            worker_counts: vec![1, 4],
+        };
         let rows = run(&params).unwrap();
         assert_eq!(rows.len(), 2);
         for row in &rows {
@@ -101,7 +100,11 @@ mod tests {
                 "hadoop master load {}",
                 row.hadoop_master.cpu_load
             );
-            assert!(row.hiway_am.cpu_load < 0.2, "am load {}", row.hiway_am.cpu_load);
+            assert!(
+                row.hiway_am.cpu_load < 0.2,
+                "am load {}",
+                row.hiway_am.cpu_load
+            );
             // Workers are CPU-bound: close to the 2-core ceiling.
             assert!(
                 row.worker.cpu_load > 1.5,

@@ -94,7 +94,12 @@ fn run_hiway(rnaseq: &RnaseqParams, nodes: usize, seed: u64) -> Result<f64, Stri
     config.scheduler = SchedulerPolicy::DataAware;
     config.seed = seed;
     config.write_trace = false;
-    run_one(&mut deployment.runtime, Box::new(source), config, ProvDb::new())
+    run_one(
+        &mut deployment.runtime,
+        Box::new(source),
+        config,
+        ProvDb::new(),
+    )
 }
 
 fn run_cloudman_baseline(rnaseq: &RnaseqParams, nodes: usize, seed: u64) -> Result<f64, String> {
@@ -131,7 +136,12 @@ pub fn render(points: &[Fig8Point]) -> String {
         })
         .collect();
     crate::experiments::common::render_table(
-        &["nodes", "Hi-WAY (min)", "CloudMan (min)", "CloudMan overhead"],
+        &[
+            "nodes",
+            "Hi-WAY (min)",
+            "CloudMan (min)",
+            "CloudMan overhead",
+        ],
         &rows,
     )
 }

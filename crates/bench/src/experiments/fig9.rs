@@ -70,8 +70,7 @@ fn stressed_deployment(
     montage: &MontageParams,
     seed: u64,
 ) -> hiway_workloads::profiles::Deployment {
-    let mut deployment =
-        profiles::ec2_cluster(params.workers, &NodeSpec::m3_large("proto"), seed);
+    let mut deployment = profiles::ec2_cluster(params.workers, &NodeSpec::m3_large("proto"), seed);
     let workers = deployment.worker_ids();
     // Worker 0 unperturbed; 1–5 CPU-stressed; 6–10 disk-stressed.
     for (i, &level) in STRESS_LEVELS.iter().enumerate() {
@@ -146,7 +145,10 @@ pub fn run(params: &Fig9Params) -> Result<Fig9Result, String> {
             heft_secs[k].push(secs);
         }
     }
-    Ok(Fig9Result { fcfs_secs, heft_secs })
+    Ok(Fig9Result {
+        fcfs_secs,
+        heft_secs,
+    })
 }
 
 /// Renders the figure as a text table.

@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablation;
+pub mod chaos;
 pub mod common;
 pub mod fig4;
 pub mod fig6;

@@ -64,7 +64,11 @@ pub fn run_level(workers: usize, k: usize, seed: u64) -> Result<MultiwfPoint, St
                 .replace("work/", &format!("u{i}/work/"))
                 .replace("out/", &format!("u{i}/out/"));
             let source = parse_dax(&dax).map_err(|e| e.to_string())?;
-            ids.push(rt.submit(Box::new(source), montage_config(seed + i as u64), ProvDb::new()));
+            ids.push(rt.submit(
+                Box::new(source),
+                montage_config(seed + i as u64),
+                ProvDb::new(),
+            ));
         }
         let reports = rt.run_to_completion();
         for &idx in &ids {
@@ -72,10 +76,7 @@ pub fn run_level(workers: usize, k: usize, seed: u64) -> Result<MultiwfPoint, St
                 return Err(e.to_string());
             }
         }
-        reports
-            .iter()
-            .map(|r| r.t_finish)
-            .fold(0.0f64, f64::max)
+        reports.iter().map(|r| r.t_finish).fold(0.0f64, f64::max)
     };
 
     // Sequential: fresh cluster per run, makespans summed.
@@ -87,7 +88,11 @@ pub fn run_level(workers: usize, k: usize, seed: u64) -> Result<MultiwfPoint, St
         }
         let source = parse_dax(&montage.dax_source()).map_err(|e| e.to_string())?;
         let mut rt = deployment.runtime;
-        let idx = rt.submit(Box::new(source), montage_config(seed + i as u64), ProvDb::new());
+        let idx = rt.submit(
+            Box::new(source),
+            montage_config(seed + i as u64),
+            ProvDb::new(),
+        );
         let reports = rt.run_to_completion();
         if let Some(e) = rt.error_of(idx) {
             return Err(e.to_string());
@@ -95,12 +100,19 @@ pub fn run_level(workers: usize, k: usize, seed: u64) -> Result<MultiwfPoint, St
         sequential_secs += reports[idx].runtime_secs();
     }
 
-    Ok(MultiwfPoint { workflows: k, concurrent_secs, sequential_secs })
+    Ok(MultiwfPoint {
+        workflows: k,
+        concurrent_secs,
+        sequential_secs,
+    })
 }
 
 /// Sweeps concurrency levels.
 pub fn run(workers: usize, levels: &[usize], seed: u64) -> Result<Vec<MultiwfPoint>, String> {
-    levels.iter().map(|&k| run_level(workers, k, seed)).collect()
+    levels
+        .iter()
+        .map(|&k| run_level(workers, k, seed))
+        .collect()
 }
 
 /// Renders the sweep.

@@ -109,7 +109,15 @@ mod tests {
         let rows = super::rows();
         assert_eq!(rows.len(), 4);
         let rendered = super::render();
-        for needle in ["SNV Calling", "RNA-seq", "Montage", "HEFT", "Cuneiform", "Galaxy", "DAX"] {
+        for needle in [
+            "SNV Calling",
+            "RNA-seq",
+            "Montage",
+            "HEFT",
+            "Cuneiform",
+            "Galaxy",
+            "DAX",
+        ] {
             assert!(rendered.contains(needle), "missing {needle}");
         }
     }

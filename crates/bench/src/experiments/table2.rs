@@ -57,7 +57,10 @@ pub fn run_rung(workers: usize, seed: u64) -> Result<(hiway_core::driver::Runtim
     let mut deployment = profiles::ec2_cluster(workers, &NodeSpec::m3_large("proto"), seed);
     let s3 = deployment.s3.expect("ec2 cluster has S3");
     for (path, size) in snv.input_files() {
-        deployment.runtime.cluster.register_external_file(&path, s3, size);
+        deployment
+            .runtime
+            .cluster
+            .register_external_file(&path, s3, size);
     }
     let source = CuneiformWorkflow::parse("snv-weak-scaling", &snv.cuneiform_source(), seed)
         .map_err(|e| e.to_string())?;
@@ -65,7 +68,12 @@ pub fn run_rung(workers: usize, seed: u64) -> Result<(hiway_core::driver::Runtim
     config.scheduler = SchedulerPolicy::Fcfs; // as configured in the paper
     config.seed = seed;
     config.write_trace = false;
-    let secs = run_one(&mut deployment.runtime, Box::new(source), config, ProvDb::new())?;
+    let secs = run_one(
+        &mut deployment.runtime,
+        Box::new(source),
+        config,
+        ProvDb::new(),
+    )?;
     Ok((deployment.runtime, secs))
 }
 

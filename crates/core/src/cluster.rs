@@ -17,13 +17,26 @@ pub enum Tag {
     /// AM–RM heartbeat timer.
     Heartbeat { wf: u32 },
     /// Worker container finished starting up (localization done).
-    ContainerStarted { wf: u32, task: TaskId },
-    /// One stage-in transfer (input file `file` of the task) finished.
-    StageIn { wf: u32, task: TaskId, file: u32 },
-    /// The task's compute phase finished.
-    Exec { wf: u32, task: TaskId },
+    ContainerStarted { wf: u32, task: TaskId, attempt: u32 },
+    /// One stage-in transfer (input file `file` of the attempt) finished.
+    StageIn {
+        wf: u32,
+        task: TaskId,
+        attempt: u32,
+        file: u32,
+    },
+    /// The attempt's compute phase finished.
+    Exec { wf: u32, task: TaskId, attempt: u32 },
     /// One stage-out transfer finished.
-    StageOut { wf: u32, task: TaskId, file: u32 },
+    StageOut {
+        wf: u32,
+        task: TaskId,
+        attempt: u32,
+        file: u32,
+    },
+    /// A failed task's exponential-backoff delay elapsed; re-request a
+    /// container for it.
+    RetryTask { wf: u32, task: TaskId },
     /// Background load — never completes, only cancelled.
     Stress,
     /// HDFS re-replication traffic.
@@ -103,11 +116,21 @@ impl Cluster {
         self.committed.insert(path.to_string());
     }
 
+    /// Drops `path` from the HDFS namespace if a previous (failed) attempt
+    /// registered it but never finished writing — clearing the way for a
+    /// retry's `create`. Committed files are left untouched.
+    pub fn discard_uncommitted(&mut self, path: &str) {
+        if self.hdfs.exists(path) && !self.committed.contains(path) {
+            self.hdfs.delete(path).expect("exists was just checked");
+        }
+    }
+
     /// Registers a file served by an external service (fetched during
     /// execution — the paper's second scalability experiment obtains reads
     /// "during workflow execution from the Amazon S3 bucket").
     pub fn register_external_file(&mut self, path: &str, service: ExternalId, size: u64) {
-        self.externals.insert(path.to_string(), ExternalFile { service, size });
+        self.externals
+            .insert(path.to_string(), ExternalFile { service, size });
     }
 
     pub fn external_file(&self, path: &str) -> Option<ExternalFile> {
@@ -137,12 +160,28 @@ impl Cluster {
         self.rm.fail_node(node)
     }
 
+    /// Brings a failed node back: the NodeManager re-registers with full
+    /// (empty) capacity and the DataNode rejoins with a blank disk (its
+    /// old replicas are gone — HDFS re-replication repopulates it over
+    /// time). Containers that died with the node stay dead.
+    pub fn recover_node(&mut self, node: NodeId) {
+        self.rm.revive_node(node);
+        self.hdfs.revive_node(node).expect("known node");
+    }
+
     /// Restores the replication factor after failures, running the copy
     /// traffic through the engine (tagged [`Tag::Replication`]).
     pub fn re_replicate(&mut self) -> usize {
-        let copies = self.hdfs.re_replicate().expect("no data loss");
+        self.try_re_replicate().expect("no data loss")
+    }
+
+    /// Like [`Cluster::re_replicate`] but surfaces unrecoverable data loss
+    /// (every replica of some block gone) instead of panicking — chaos
+    /// schedules can legitimately destroy all copies of a file.
+    pub fn try_re_replicate(&mut self) -> Result<usize, hiway_hdfs::HdfsError> {
+        let copies = self.hdfs.re_replicate()?;
         let ids = hiway_hdfs::exec::start_copies(&mut self.engine, &copies, Tag::Replication);
-        ids.len()
+        Ok(ids.len())
     }
 }
 
@@ -179,7 +218,10 @@ mod tests {
         c.register_external_file("s3://bucket/reads.fq", s3, 1 << 30);
         assert!(c.input_available("s3://bucket/reads.fq"));
         assert!(!c.hdfs.exists("s3://bucket/reads.fq"));
-        assert_eq!(c.external_file("s3://bucket/reads.fq").unwrap().size, 1 << 30);
+        assert_eq!(
+            c.external_file("s3://bucket/reads.fq").unwrap().size,
+            1 << 30
+        );
         assert!(!c.input_available("/missing"));
     }
 

@@ -77,6 +77,36 @@ pub struct HiwayConfig {
     /// Probability that a task attempt fails (simulated tool crash), for
     /// fault-tolerance testing.
     pub task_failure_prob: f64,
+    /// How many *infrastructure*-caused attempt failures (node crash,
+    /// container preemption) a task absorbs before the workflow is
+    /// declared failed. Infrastructure failures are not the task's fault,
+    /// so this budget is separate from (and much larger than)
+    /// [`HiwayConfig::task_retries`].
+    pub infra_retries: u32,
+    /// Base delay before a failed attempt is re-requested; doubles with
+    /// every further failure of the same task (exponential backoff),
+    /// capped at [`HiwayConfig::retry_backoff_max_secs`]. Zero retries
+    /// immediately on the next heartbeat.
+    pub retry_backoff_secs: f64,
+    /// Upper bound on the exponential retry backoff.
+    pub retry_backoff_max_secs: f64,
+    /// A node accumulating this many attempt failures (while its earlier
+    /// strikes have not yet decayed) is blacklisted for this workflow:
+    /// containers granted on it are handed back rather than used.
+    pub blacklist_strikes: u32,
+    /// How long a node-blacklist strike takes to decay. Each new strike
+    /// extends the node's window to `now + blacklist_decay_secs`.
+    pub blacklist_decay_secs: f64,
+    /// Speculative re-execution of stragglers: when a task's compute phase
+    /// has run longer than `speculation_factor ×` its provenance-estimated
+    /// runtime, a duplicate attempt is launched on a different node. The
+    /// first attempt to finish its compute phase wins; the other is
+    /// cancelled. Off by default (duplicates burn containers).
+    pub speculative_execution: bool,
+    /// Straggler threshold multiplier over the provenance mean runtime.
+    pub speculation_factor: f64,
+    /// Never speculate before an attempt has computed at least this long.
+    pub speculation_min_secs: f64,
     /// Whether to write the provenance trace file to HDFS at the end.
     pub write_trace: bool,
     /// Seed for the AM's failure/randomness draws.
@@ -95,6 +125,14 @@ impl Default for HiwayConfig {
             multithread_full_node: false,
             tailored_containers: false,
             task_failure_prob: 0.0,
+            infra_retries: 24,
+            retry_backoff_secs: 1.0,
+            retry_backoff_max_secs: 64.0,
+            blacklist_strikes: 2,
+            blacklist_decay_secs: 120.0,
+            speculative_execution: false,
+            speculation_factor: 1.8,
+            speculation_min_secs: 20.0,
             write_trace: true,
             seed: 0,
         }

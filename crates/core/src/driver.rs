@@ -14,8 +14,16 @@
 //! * **Iterative discovery** — every task completion is fed back to the
 //!   language front-end, which may reveal new tasks (conditionals, loops,
 //!   recursion).
-//! * **Fault tolerance** — failed attempts are retried in fresh containers,
-//!   steered away from the failing node.
+//! * **Fault tolerance** — failed attempts are retried in fresh containers
+//!   with exponential backoff, steered away from failing (blacklisted)
+//!   nodes; infrastructure losses (node crash, preemption) are budgeted
+//!   separately from tool crashes; stragglers can be re-executed
+//!   speculatively, first finisher wins.
+//!
+//! A task may therefore have several *attempts* in flight at once (one
+//! primary plus at most one speculative duplicate); every engine event
+//! carries the attempt id it belongs to, so late events of a cancelled
+//! attempt are recognized as stale and dropped.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -27,7 +35,7 @@ use hiway_lang::trace::{FileEvent, TaskEvent};
 use hiway_lang::{TaskId, TaskSpec, WorkflowSource};
 use hiway_provdb::ProvDb;
 use hiway_sim::{Activity, ActivityId, Completion, Endpoint, NodeId, SimTime};
-use hiway_yarn::{AppId, Container, ContainerId};
+use hiway_yarn::{AppId, Container, ContainerId, ContainerRequest};
 
 use crate::cluster::{Cluster, Tag};
 use crate::config::HiwayConfig;
@@ -36,13 +44,24 @@ use crate::report::{TaskReport, WorkflowReport};
 use crate::scheduler::{make_scheduler, Scheduler};
 use hiway_yarn::Resource;
 
-/// Per-task execution state.
-#[derive(Clone, Debug, PartialEq)]
+/// Per-task execution state. Attempt-level phases (stage-in, exec,
+/// stage-out) live on [`Attempt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum TaskState {
     /// Waiting for input files to be committed.
     Waiting,
     /// Dependencies met; a container request is outstanding.
     Requested,
+    /// An attempt failed; the exponential-backoff timer is running.
+    Backoff,
+    /// At least one attempt is executing in a container.
+    Active,
+    Done,
+}
+
+/// Where one container attempt currently is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AttemptPhase {
     /// Container allocated; worker process starting up.
     Starting,
     /// Obtaining input data from HDFS / external services.
@@ -51,26 +70,69 @@ enum TaskState {
     Running,
     /// Writing outputs back to HDFS.
     StageOut,
-    Done,
+}
+
+/// Why an attempt failed — infrastructure losses are not the task's fault
+/// and draw from a separate (much larger) retry budget than tool crashes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Node crash, container preemption, storage loss mid-transfer.
+    Infra,
+    /// The tool itself crashed.
+    Task,
+}
+
+/// One container execution of a task (a YARN "task attempt").
+struct Attempt {
+    container: Container,
+    phase: AttemptPhase,
+    speculative: bool,
+    /// Remaining engine activities per phase-file group.
+    group_remaining: HashMap<u32, usize>,
+    group_started: HashMap<u32, SimTime>,
+    /// All in-flight activity ids, for cancellation on failure.
+    inflight: HashSet<ActivityId>,
+    files_remaining: usize,
+    /// Whether the working-directory (scratch) I/O phase has run.
+    scratch_done: bool,
+    t_start: f64,
+    /// When the compute phase began (straggler detection).
+    t_exec_start: f64,
+}
+
+impl Attempt {
+    fn new(container: Container, now: f64, speculative: bool) -> Attempt {
+        Attempt {
+            container,
+            phase: AttemptPhase::Starting,
+            speculative,
+            group_remaining: HashMap::new(),
+            group_started: HashMap::new(),
+            inflight: HashSet::new(),
+            files_remaining: 0,
+            scratch_done: false,
+            t_start: now,
+            t_exec_start: 0.0,
+        }
+    }
 }
 
 struct TaskRun {
     spec: TaskSpec,
     state: TaskState,
+    /// Attempts launched so far (primary + speculative).
     attempts: u32,
+    task_failures: u32,
+    infra_failures: u32,
     /// Node of the last failed attempt, avoided on retry when possible.
     avoid_node: Option<NodeId>,
-    container: Option<Container>,
     /// Containers declined by the adaptive policy for this task so far.
     declines: u32,
-    /// Remaining engine activities per phase-file group.
-    group_remaining: HashMap<u32, usize>,
-    group_started: HashMap<u32, SimTime>,
-    /// All in-flight activity ids, for cancellation on node failure.
-    inflight: HashSet<ActivityId>,
-    files_remaining: usize,
-    /// Whether the working-directory (scratch) I/O phase has run.
-    scratch_done: bool,
+    next_attempt: u32,
+    /// In-flight attempts by attempt id (1 normally, 2 while speculating).
+    active: BTreeMap<u32, Attempt>,
+    /// A speculative duplicate has been requested or is running.
+    speculating: bool,
     t_ready: f64,
     t_start: f64,
     t_exec_end: f64,
@@ -83,28 +145,26 @@ impl TaskRun {
             spec,
             state: TaskState::Waiting,
             attempts: 0,
+            task_failures: 0,
+            infra_failures: 0,
             avoid_node: None,
             declines: 0,
-            container: None,
-            group_remaining: HashMap::new(),
-            group_started: HashMap::new(),
-            inflight: HashSet::new(),
-            files_remaining: 0,
-            scratch_done: false,
+            next_attempt: 0,
+            active: BTreeMap::new(),
+            speculating: false,
             t_ready: 0.0,
             t_start: 0.0,
             t_exec_end: 0.0,
             t_end: 0.0,
         }
     }
+}
 
-    fn reset_phase_state(&mut self) {
-        self.group_remaining.clear();
-        self.group_started.clear();
-        self.inflight.clear();
-        self.files_remaining = 0;
-        self.scratch_done = false;
-    }
+/// Per-workflow blacklist entry: strike count and its decay horizon.
+#[derive(Clone, Copy, Debug, Default)]
+struct Strikes {
+    count: u32,
+    expires: f64,
 }
 
 struct Am {
@@ -116,6 +176,10 @@ struct Am {
     tasks: BTreeMap<TaskId, TaskRun>,
     /// Ready-but-unlaunched tasks in readiness order.
     ready_order: Vec<TaskId>,
+    /// Tasks with an unserved speculative container request.
+    spec_pending: Vec<TaskId>,
+    /// Nodes this workflow has seen attempts fail on, with decay.
+    blacklist: BTreeMap<NodeId, Strikes>,
     started: bool,
     planned: bool,
     done: bool,
@@ -125,6 +189,10 @@ struct Am {
     t_finish: f64,
     rng: StdRng,
     reports: Vec<TaskReport>,
+    wasted_secs: f64,
+    infra_failures: u32,
+    task_failures: u32,
+    speculative_attempts: u32,
 }
 
 impl Am {
@@ -133,12 +201,32 @@ impl Am {
     }
 
     fn has_inflight_tasks(&self) -> bool {
-        self.tasks.values().any(|t| {
-            matches!(
-                t.state,
-                TaskState::Starting | TaskState::StageIn | TaskState::Running | TaskState::StageOut
-            )
-        })
+        self.tasks
+            .values()
+            .any(|t| !t.active.is_empty() || t.state == TaskState::Backoff)
+    }
+
+    /// Whether this workflow currently refuses containers on `node`.
+    fn node_blacklisted(&self, node: NodeId, now: f64) -> bool {
+        if self.config.blacklist_strikes == 0 {
+            return false;
+        }
+        match self.blacklist.get(&node) {
+            Some(s) => s.count >= self.config.blacklist_strikes && now < s.expires,
+            None => false,
+        }
+    }
+
+    /// Registers an attempt failure on `node`; strikes decay after
+    /// `blacklist_decay_secs` of quiet.
+    fn strike_node(&mut self, node: NodeId, now: f64) {
+        let decay = self.config.blacklist_decay_secs;
+        let entry = self.blacklist.entry(node).or_default();
+        if now > entry.expires {
+            entry.count = 0;
+        }
+        entry.count += 1;
+        entry.expires = now + decay;
     }
 }
 
@@ -146,7 +234,8 @@ impl Am {
 pub struct Runtime {
     pub cluster: Cluster,
     ams: Vec<Am>,
-    containers: HashMap<ContainerId, (usize, TaskId)>,
+    /// Worker container → (workflow, task, attempt) hosting it.
+    containers: HashMap<ContainerId, (usize, TaskId, u32)>,
     heartbeat_armed: bool,
     heartbeat_secs: f64,
     stall_strikes: u32,
@@ -212,9 +301,10 @@ impl Runtime {
         prov_db: ProvDb,
     ) -> usize {
         let app = self.cluster.rm.submit_app(source.name().to_string());
-        self.cluster
-            .rm
-            .request(app, hiway_yarn::ContainerRequest::anywhere(config.am_resource));
+        self.cluster.rm.request(
+            app,
+            hiway_yarn::ContainerRequest::anywhere(config.am_resource),
+        );
         self.heartbeat_secs = self.heartbeat_secs.min(config.heartbeat_secs);
         let seed = config.seed ^ (self.ams.len() as u64).wrapping_mul(0x9e37_79b9);
         let scheduler = make_scheduler(config.scheduler);
@@ -227,6 +317,8 @@ impl Runtime {
             scheduler,
             tasks: BTreeMap::new(),
             ready_order: Vec::new(),
+            spec_pending: Vec::new(),
+            blacklist: BTreeMap::new(),
             started: false,
             planned: false,
             done: false,
@@ -236,6 +328,10 @@ impl Runtime {
             t_finish: 0.0,
             rng: StdRng::seed_from_u64(seed),
             reports: Vec::new(),
+            wasted_secs: 0.0,
+            infra_failures: 0,
+            task_failures: 0,
+            speculative_attempts: 0,
         });
         self.arm_heartbeat();
         self.ams.len() - 1
@@ -295,7 +391,9 @@ impl Runtime {
                     }
                 }
                 _ => {
-                    self.cluster.engine.advance_to(deadline.max(self.cluster.engine.now()));
+                    self.cluster
+                        .engine
+                        .advance_to(deadline.max(self.cluster.engine.now()));
                     return self.ams.iter().any(Am::active);
                 }
             }
@@ -311,12 +409,13 @@ impl Runtime {
                 let t_finish = if am.done { am.t_finish } else { now };
                 let total = (t_finish - am.t_submit).max(0.0);
                 let (trace, trace_path) = if am.done && am.config.write_trace {
-                    let text = am.prov.finish_workflow(
-                        am.source.name(),
-                        am.source.language(),
-                        total,
-                    );
-                    (text, Some(format!("/hiway/traces/{}.trace", am.source.name())))
+                    let text =
+                        am.prov
+                            .finish_workflow(am.source.name(), am.source.language(), total);
+                    (
+                        text,
+                        Some(format!("/hiway/traces/{}.trace", am.source.name())),
+                    )
                 } else {
                     (String::new(), None)
                 };
@@ -329,6 +428,10 @@ impl Runtime {
                     tasks: am.reports.clone(),
                     trace,
                     trace_path,
+                    wasted_container_secs: am.wasted_secs,
+                    infra_failures: am.infra_failures,
+                    task_failures: am.task_failures,
+                    speculative_attempts: am.speculative_attempts,
                 }
             })
             .collect()
@@ -351,7 +454,11 @@ impl Runtime {
     /// Progress counters of a workflow: `(done, total_known)` tasks.
     pub fn progress(&self, wf: usize) -> (usize, usize) {
         let am = &self.ams[wf];
-        let done = am.tasks.values().filter(|t| t.state == TaskState::Done).count();
+        let done = am
+            .tasks
+            .values()
+            .filter(|t| t.state == TaskState::Done)
+            .count();
         (done, am.tasks.len())
     }
 
@@ -361,8 +468,15 @@ impl Runtime {
     pub fn fail_node(&mut self, node: NodeId) {
         let killed = self.cluster.fail_node(node);
         for container in killed {
-            if let Some((wf, task)) = self.containers.remove(&container.id) {
-                self.handle_attempt_failure(wf, task, node, "node failure");
+            if let Some((wf, task, attempt)) = self.containers.remove(&container.id) {
+                self.handle_attempt_failure(
+                    wf,
+                    task,
+                    attempt,
+                    node,
+                    FailureKind::Infra,
+                    "node failure",
+                );
             } else if let Some(am) = self
                 .ams
                 .iter_mut()
@@ -371,6 +485,45 @@ impl Runtime {
                 am.error = Some(format!("AM container lost with node {}", node.0));
             }
         }
+    }
+
+    /// Brings a previously failed node back into service: its NodeManager
+    /// re-registers with full capacity and its DataNode rejoins empty.
+    /// Containers that died with the node stay dead; the per-workflow
+    /// blacklists keep steering work away until their strikes decay.
+    pub fn recover_node(&mut self, node: NodeId) {
+        self.cluster.recover_node(node);
+    }
+
+    /// Kills one running worker container (YARN preemption). The attempt
+    /// it hosted fails as an *infrastructure* failure — it does not count
+    /// against the task's own retry budget. Returns `false` if the id is
+    /// not a live worker container.
+    pub fn preempt_container(&mut self, cid: ContainerId) -> bool {
+        let Some((wf, task, attempt)) = self.containers.remove(&cid) else {
+            return false;
+        };
+        let node = match self.cluster.rm.release(cid) {
+            Some(c) => c.node,
+            None => return false,
+        };
+        self.handle_attempt_failure(
+            wf,
+            task,
+            attempt,
+            node,
+            FailureKind::Infra,
+            "container preempted",
+        );
+        true
+    }
+
+    /// Live worker containers (excludes AM containers), in id order —
+    /// a deterministic victim list for preemption harnesses.
+    pub fn worker_containers(&self) -> Vec<ContainerId> {
+        let mut ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     // ----- event dispatch -------------------------------------------------
@@ -383,10 +536,23 @@ impl Runtime {
     fn dispatch(&mut self, tag: Tag) {
         match tag {
             Tag::Heartbeat { .. } => self.on_heartbeat(),
-            Tag::ContainerStarted { wf, task } => self.begin_stage_in(wf as usize, task),
-            Tag::StageIn { wf, task, file } => self.on_stage_in_done(wf as usize, task, file),
-            Tag::Exec { wf, task } => self.on_exec_done(wf as usize, task),
-            Tag::StageOut { wf, task, file } => self.on_stage_out_done(wf as usize, task, file),
+            Tag::ContainerStarted { wf, task, attempt } => {
+                self.begin_stage_in(wf as usize, task, attempt)
+            }
+            Tag::StageIn {
+                wf,
+                task,
+                attempt,
+                file,
+            } => self.on_stage_in_done(wf as usize, task, attempt, file),
+            Tag::Exec { wf, task, attempt } => self.on_exec_done(wf as usize, task, attempt),
+            Tag::StageOut {
+                wf,
+                task,
+                attempt,
+                file,
+            } => self.on_stage_out_done(wf as usize, task, attempt, file),
+            Tag::RetryTask { wf, task } => self.on_retry_due(wf as usize, task),
             Tag::Stress | Tag::Replication => {}
         }
     }
@@ -398,6 +564,7 @@ impl Runtime {
         for container in granted {
             self.route_container(container);
         }
+        self.maybe_speculate();
 
         let any_active = self.ams.iter().any(Am::active);
         if any_active {
@@ -405,6 +572,8 @@ impl Runtime {
             // unfinished workflows remain — the cluster can never make
             // progress (an input that will never exist, a pinned request
             // for a dead node, or an AM container that fits nowhere).
+            // Tasks in retry backoff count as in flight: their timer will
+            // re-request a container.
             let any_inflight = self.ams.iter().any(Am::has_inflight_tasks);
             if !any_granted && !any_inflight {
                 self.stall_strikes += 1;
@@ -446,8 +615,24 @@ impl Runtime {
             return;
         }
         self.charge_master_overhead_from(true, Some(container.node));
-        // Pick a task for this worker container.
         let node = container.node;
+        let now = self.cluster.engine.now().as_secs();
+        // Per-workflow blacklist: hand containers on struck nodes straight
+        // back, as long as some other schedulable node exists. The strikes
+        // decay, so a recovered node earns its way back in.
+        if self.ams[wf].node_blacklisted(node, now) {
+            let alternative = self.cluster.rm.alive_nodes().into_iter().any(|n| {
+                n != node
+                    && self.cluster.rm.total(n).vcores > 0
+                    && !self.ams[wf].node_blacklisted(n, now)
+            });
+            if alternative {
+                self.cluster.rm.release(container.id);
+                self.re_request_head(wf);
+                return;
+            }
+        }
+        // Pick a task for this worker container.
         let multi_node = self.cluster.rm.alive_nodes().len() > 1;
         let am = &mut self.ams[wf];
         let candidates: Vec<&TaskSpec> = am
@@ -469,56 +654,179 @@ impl Runtime {
         // container and wait for a better one (bounded per task).
         if let Some(task_id) = chosen {
             let task = &am.tasks[&task_id];
-            if task.declines < 3
-                && am
-                    .scheduler
-                    .decline(node, &node_name, &task.spec, &am.prov)
-            {
+            if task.declines < 3 && am.scheduler.decline(node, &node_name, &task.spec, &am.prov) {
                 am.tasks.get_mut(&task_id).expect("known").declines += 1;
                 let resource = container.resource;
                 self.cluster.rm.release(container.id);
                 let am = &mut self.ams[wf];
-                let req = am.scheduler.container_request(&am.tasks[&task_id].spec, resource);
+                let req = am
+                    .scheduler
+                    .container_request(&am.tasks[&task_id].spec, resource);
                 self.cluster.rm.request(am.app, req);
                 return;
             }
         }
         match chosen {
-            Some(task_id) => {
-                let now = self.cluster.engine.now().as_secs();
-                let task = am.tasks.get_mut(&task_id).expect("candidate exists");
-                task.state = TaskState::Starting;
-                task.container = Some(container);
-                task.attempts += 1;
-                task.t_start = now;
-                am.ready_order.retain(|id| *id != task_id);
-                self.containers.insert(container.id, (wf, task_id));
-                let startup = self.ams[wf].config.container_startup_secs;
-                self.cluster.engine.set_timer_after(
-                    startup,
-                    Tag::ContainerStarted { wf: wf as u32, task: task_id },
-                );
-            }
+            Some(task_id) => self.launch_attempt(wf, container, task_id, false),
             None => {
-                // No launchable task for this container (e.g. every
-                // candidate avoids this node). Hand it back and re-ask so
-                // the request count matches the ready tasks again.
-                self.cluster.rm.release(container.id);
-                let am = &mut self.ams[wf];
-                let tid = am
-                    .ready_order
-                    .iter()
-                    .find(|id| am.tasks[id].state == TaskState::Requested)
-                    .copied();
-                if let Some(tid) = tid {
-                    let resource = {
-                        let spec = &self.ams[wf].tasks[&tid].spec;
-                        self.container_resource_for(wf, spec)
-                    };
-                    let am = &mut self.ams[wf];
-                    let req = am.scheduler.container_request(&am.tasks[&tid].spec, resource);
-                    self.cluster.rm.request(am.app, req);
+                // No primary task fits this container: maybe a straggler's
+                // speculative duplicate can use it.
+                if self.try_launch_speculative(wf, container) {
+                    return;
                 }
+                // Otherwise hand it back and re-ask so the request count
+                // matches the ready tasks again.
+                self.cluster.rm.release(container.id);
+                self.re_request_head(wf);
+            }
+        }
+    }
+
+    /// Issues a fresh container request for the head Requested task (used
+    /// after handing a container back).
+    fn re_request_head(&mut self, wf: usize) {
+        let am = &self.ams[wf];
+        let tid = am
+            .ready_order
+            .iter()
+            .find(|id| am.tasks[id].state == TaskState::Requested)
+            .copied();
+        if let Some(tid) = tid {
+            let resource = {
+                let spec = &self.ams[wf].tasks[&tid].spec;
+                self.container_resource_for(wf, spec)
+            };
+            let am = &mut self.ams[wf];
+            let req = am
+                .scheduler
+                .container_request(&am.tasks[&tid].spec, resource);
+            self.cluster.rm.request(am.app, req);
+        }
+    }
+
+    /// Starts one attempt of `task_id` in `container`. Primary attempts
+    /// consume the task's slot in `ready_order`; speculative ones run
+    /// alongside the existing attempt.
+    fn launch_attempt(
+        &mut self,
+        wf: usize,
+        container: Container,
+        task_id: TaskId,
+        speculative: bool,
+    ) {
+        let now = self.cluster.engine.now().as_secs();
+        let startup = self.ams[wf].config.container_startup_secs;
+        let am = &mut self.ams[wf];
+        let task = am.tasks.get_mut(&task_id).expect("known task");
+        task.attempts += 1;
+        let attempt = task.next_attempt;
+        task.next_attempt += 1;
+        task.active
+            .insert(attempt, Attempt::new(container, now, speculative));
+        if speculative {
+            am.speculative_attempts += 1;
+        } else {
+            task.state = TaskState::Active;
+            task.t_start = now;
+            am.ready_order.retain(|id| *id != task_id);
+        }
+        self.containers.insert(container.id, (wf, task_id, attempt));
+        self.cluster.engine.set_timer_after(
+            startup,
+            Tag::ContainerStarted {
+                wf: wf as u32,
+                task: task_id,
+                attempt,
+            },
+        );
+    }
+
+    /// Tries to use an unmatched container for a pending speculative
+    /// duplicate; the duplicate must land on a different node than the
+    /// straggling attempt.
+    fn try_launch_speculative(&mut self, wf: usize, container: Container) -> bool {
+        if !self.ams[wf].config.speculative_execution {
+            return false;
+        }
+        let mut launch: Option<TaskId> = None;
+        {
+            let am = &mut self.ams[wf];
+            let tasks = &am.tasks;
+            let mut stale: Vec<usize> = Vec::new();
+            for (i, tid) in am.spec_pending.iter().enumerate() {
+                let eligible = tasks.get(tid).is_some_and(|t| {
+                    t.state == TaskState::Active && t.speculating && t.active.len() == 1
+                });
+                if !eligible {
+                    stale.push(i);
+                    continue;
+                }
+                let primary_node = tasks[tid].active.values().next().map(|a| a.container.node);
+                if primary_node == Some(container.node) {
+                    continue; // same node as the straggler: pointless copy
+                }
+                launch = Some(*tid);
+                stale.push(i);
+                break;
+            }
+            for i in stale.into_iter().rev() {
+                am.spec_pending.remove(i);
+            }
+        }
+        match launch {
+            Some(tid) => {
+                self.launch_attempt(wf, container, tid, true);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Scans for stragglers and requests duplicate containers for them —
+    /// the speculative-execution heartbeat hook.
+    fn maybe_speculate(&mut self) {
+        let now = self.cluster.engine.now().as_secs();
+        for wf in 0..self.ams.len() {
+            if !self.ams[wf].active() || !self.ams[wf].config.speculative_execution {
+                continue;
+            }
+            let factor = self.ams[wf].config.speculation_factor;
+            let min_secs = self.ams[wf].config.speculation_min_secs;
+            let mut to_speculate: Vec<(TaskId, Resource)> = Vec::new();
+            {
+                let am = &self.ams[wf];
+                for (tid, task) in &am.tasks {
+                    if task.state != TaskState::Active || task.speculating || task.active.len() != 1
+                    {
+                        continue;
+                    }
+                    let attempt = task.active.values().next().expect("len checked");
+                    if attempt.phase != AttemptPhase::Running {
+                        continue;
+                    }
+                    let elapsed = now - attempt.t_exec_start;
+                    if elapsed < min_secs {
+                        continue;
+                    }
+                    match am.prov.average_runtime(&task.spec.name) {
+                        Some(est) if est > 0.0 && elapsed > factor * est => {
+                            to_speculate.push((*tid, Resource::ZERO));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for (tid, _) in to_speculate {
+                let resource = {
+                    let spec = &self.ams[wf].tasks[&tid].spec;
+                    self.container_resource_for(wf, spec)
+                };
+                let am = &mut self.ams[wf];
+                am.tasks.get_mut(&tid).expect("known").speculating = true;
+                am.spec_pending.push(tid);
+                self.cluster
+                    .rm
+                    .request(am.app, ContainerRequest::anywhere(resource));
             }
         }
     }
@@ -603,7 +911,9 @@ impl Runtime {
             .alive_nodes()
             .into_iter()
             .map(|n| self.cluster.rm.total(n))
-            .fold((1u32, 512u64), |(v, m), r| (v.max(r.vcores), m.max(r.memory_mb)));
+            .fold((1u32, 512u64), |(v, m), r| {
+                (v.max(r.vcores), m.max(r.memory_mb))
+            });
         Resource::new(
             task.cost.threads.clamp(1, max_vcores),
             task.cost.memory_mb.clamp(256, max_mem),
@@ -644,30 +954,37 @@ impl Runtime {
 
     // ----- worker container lifecycle --------------------------------------
 
-    fn begin_stage_in(&mut self, wf: usize, task_id: TaskId) {
+    fn begin_stage_in(&mut self, wf: usize, task_id: TaskId, attempt: u32) {
         let peer = self.ams[wf]
             .tasks
             .get(&task_id)
-            .and_then(|t| t.container.map(|c| c.node));
+            .and_then(|t| t.active.get(&attempt))
+            .map(|a| a.container.node);
+        if peer.is_none() {
+            return; // attempt was cancelled before its container came up
+        }
         self.charge_master_overhead_from(false, peer);
         let (node, inputs) = {
             let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
-            task.state = TaskState::StageIn;
-            task.reset_phase_state();
-            (
-                task.container.expect("container assigned").node,
-                task.spec.inputs.clone(),
-            )
+            let att = task.active.get_mut(&attempt).expect("checked above");
+            att.phase = AttemptPhase::StageIn;
+            (att.container.node, task.spec.inputs.clone())
         };
         let now = self.cluster.engine.now();
         let mut instantly_done: Vec<u32> = Vec::new();
         {
             let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
-            task.files_remaining = inputs.len();
+            let att = task.active.get_mut(&attempt).expect("checked above");
+            att.files_remaining = inputs.len();
         }
         for (fi, path) in inputs.iter().enumerate() {
             let fi = fi as u32;
-            let tag = Tag::StageIn { wf: wf as u32, task: task_id, file: fi };
+            let tag = Tag::StageIn {
+                wf: wf as u32,
+                task: task_id,
+                attempt,
+                file: fi,
+            };
             let acts: Vec<ActivityId> = if let Some(ext) = self.cluster.external_file(path) {
                 if ext.size == 0 {
                     Vec::new()
@@ -687,43 +1004,64 @@ impl Runtime {
                 match self.cluster.hdfs.read_plan(path, node) {
                     Ok(plan) => hdfs_exec::start_read(&mut self.cluster.engine, &plan, tag),
                     Err(e) => {
-                        self.fail_workflow(wf, format!("stage-in of '{path}' failed: {e}"));
+                        // Replica loss mid-run is an infrastructure fault:
+                        // retry (re-replication may restore the data)
+                        // rather than failing the whole workflow.
+                        let cid = {
+                            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
+                            task.active.get(&attempt).expect("checked").container.id
+                        };
+                        self.containers.remove(&cid);
+                        self.cluster.rm.release(cid);
+                        self.handle_attempt_failure(
+                            wf,
+                            task_id,
+                            attempt,
+                            node,
+                            FailureKind::Infra,
+                            &format!("stage-in of '{path}' failed: {e}"),
+                        );
                         return;
                     }
                 }
             };
             let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
-            task.group_started.insert(fi, now);
+            let att = task.active.get_mut(&attempt).expect("checked above");
+            att.group_started.insert(fi, now);
             if acts.is_empty() {
                 instantly_done.push(fi);
             } else {
-                task.group_remaining.insert(fi, acts.len());
-                task.inflight.extend(acts);
+                att.group_remaining.insert(fi, acts.len());
+                att.inflight.extend(acts);
             }
         }
         for fi in instantly_done {
-            self.on_stage_in_done(wf, task_id, fi);
+            self.on_stage_in_done(wf, task_id, attempt, fi);
         }
         // Zero-input tasks go straight to execution.
         if inputs.is_empty() {
-            self.begin_exec(wf, task_id);
+            self.begin_exec(wf, task_id, attempt);
         }
     }
 
-    fn on_stage_in_done(&mut self, wf: usize, task_id: TaskId, file: u32) {
+    fn on_stage_in_done(&mut self, wf: usize, task_id: TaskId, attempt: u32, file: u32) {
         let now = self.cluster.engine.now();
         let finished_file = {
-            let task = match self.ams[wf].tasks.get_mut(&task_id) {
-                Some(t) if t.state == TaskState::StageIn => t,
+            let att = match self.ams[wf]
+                .tasks
+                .get_mut(&task_id)
+                .and_then(|t| t.active.get_mut(&attempt))
+            {
+                Some(a) if a.phase == AttemptPhase::StageIn => a,
                 _ => return, // stale event after failure/cancel
             };
-            match task.group_remaining.get_mut(&file) {
+            match att.group_remaining.get_mut(&file) {
                 Some(rem) if *rem > 1 => {
                     *rem -= 1;
                     false
                 }
                 _ => {
-                    task.group_remaining.remove(&file);
+                    att.group_remaining.remove(&file);
                     true
                 }
             }
@@ -734,6 +1072,7 @@ impl Runtime {
         // Record the file-level provenance event.
         let (path, size, started) = {
             let task = &self.ams[wf].tasks[&task_id];
+            let att = &task.active[&attempt];
             let path = task.spec.inputs[file as usize].clone();
             let size = self
                 .cluster
@@ -741,7 +1080,7 @@ impl Runtime {
                 .map(|e| e.size)
                 .or_else(|| self.cluster.hdfs.len(&path).ok())
                 .unwrap_or(0);
-            (path, size, task.group_started[&file])
+            (path, size, att.group_started[&file])
         };
         self.ams[wf].prov.record_file(FileEvent {
             path,
@@ -751,20 +1090,24 @@ impl Runtime {
             transfer_seconds: now.since(started),
         });
         let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
-        task.files_remaining -= 1;
-        if task.files_remaining == 0 {
-            self.begin_exec(wf, task_id);
+        let att = task.active.get_mut(&attempt).expect("checked above");
+        att.files_remaining -= 1;
+        if att.files_remaining == 0 {
+            self.begin_exec(wf, task_id, attempt);
         }
     }
 
-    fn begin_exec(&mut self, wf: usize, task_id: TaskId) {
+    fn begin_exec(&mut self, wf: usize, task_id: TaskId, attempt: u32) {
+        let now = self.cluster.engine.now().as_secs();
         let am = &mut self.ams[wf];
         let task = am.tasks.get_mut(&task_id).expect("known task");
-        task.state = TaskState::Running;
-        task.inflight.clear();
-        task.files_remaining = 1;
-        task.scratch_done = task.spec.cost.scratch_bytes == 0;
-        let container = task.container.expect("container assigned");
+        let att = task.active.get_mut(&attempt).expect("attempt live");
+        att.phase = AttemptPhase::Running;
+        att.inflight.clear();
+        att.files_remaining = 1;
+        att.t_exec_start = now;
+        att.scratch_done = task.spec.cost.scratch_bytes == 0;
+        let container = att.container;
         let node_cores = self.cluster.engine.spec().node(container.node).cores;
         let cap = if am.config.multithread_full_node {
             node_cores
@@ -773,122 +1116,228 @@ impl Runtime {
         };
         let threads = task.spec.cost.threads.min(cap.max(1)).max(1) as f64;
         let act = self.cluster.engine.start(
-            Activity::Compute { node: container.node, threads },
+            Activity::Compute {
+                node: container.node,
+                threads,
+            },
             task.spec.cost.cpu_seconds,
-            Tag::Exec { wf: wf as u32, task: task_id },
+            Tag::Exec {
+                wf: wf as u32,
+                task: task_id,
+                attempt,
+            },
         );
-        task.inflight.insert(act);
+        task.active
+            .get_mut(&attempt)
+            .expect("attempt live")
+            .inflight
+            .insert(act);
     }
 
-    fn on_exec_done(&mut self, wf: usize, task_id: TaskId) {
+    fn on_exec_done(&mut self, wf: usize, task_id: TaskId, attempt: u32) {
         let scratch_pending = {
-            let task = match self.ams[wf].tasks.get_mut(&task_id) {
-                Some(t) if t.state == TaskState::Running => t,
+            let att = match self.ams[wf]
+                .tasks
+                .get_mut(&task_id)
+                .and_then(|t| t.active.get_mut(&attempt))
+            {
+                Some(a) if a.phase == AttemptPhase::Running => a,
                 _ => return,
             };
-            task.files_remaining = task.files_remaining.saturating_sub(1);
-            if task.files_remaining > 0 {
+            att.files_remaining = att.files_remaining.saturating_sub(1);
+            if att.files_remaining > 0 {
                 return; // more execution-phase activities outstanding
             }
-            task.inflight.clear();
-            !task.scratch_done
+            att.inflight.clear();
+            !att.scratch_done
         };
         if scratch_pending {
             // Working-directory I/O: the tool writes its temporary files
             // and reads them back — on the node's *local* disk under
             // Hi-WAY (cf. Figure 8's analysis).
             let task = self.ams[wf].tasks.get_mut(&task_id).expect("known");
-            task.scratch_done = true;
-            let node = task.container.expect("assigned").node;
+            let att = task.active.get_mut(&attempt).expect("live");
+            att.scratch_done = true;
+            let node = att.container.node;
             let bytes = task.spec.cost.scratch_bytes as f64;
-            let tag = Tag::Exec { wf: wf as u32, task: task_id };
-            let w = self.cluster.engine.start(Activity::DiskWrite { node }, bytes, tag.clone());
-            let r = self.cluster.engine.start(Activity::DiskRead { node }, bytes, tag);
-            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known");
-            task.files_remaining = 2;
-            task.inflight.insert(w);
-            task.inflight.insert(r);
+            let tag = Tag::Exec {
+                wf: wf as u32,
+                task: task_id,
+                attempt,
+            };
+            let w = self
+                .cluster
+                .engine
+                .start(Activity::DiskWrite { node }, bytes, tag.clone());
+            let r = self
+                .cluster
+                .engine
+                .start(Activity::DiskRead { node }, bytes, tag);
+            let att = self.ams[wf]
+                .tasks
+                .get_mut(&task_id)
+                .expect("known")
+                .active
+                .get_mut(&attempt)
+                .expect("live");
+            att.files_remaining = 2;
+            att.inflight.insert(w);
+            att.inflight.insert(r);
             return;
         }
         let now = self.cluster.engine.now().as_secs();
-        self.ams[wf].tasks.get_mut(&task_id).expect("known").t_exec_end = now;
+        // Speculation race resolved: this attempt wins, twins are cancelled.
+        self.cancel_other_attempts(wf, task_id, attempt);
+        {
+            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known");
+            task.t_exec_end = now;
+            task.t_start = task.active[&attempt].t_start;
+            task.speculating = false;
+        }
 
         // Simulated tool crash?
         let fail_prob = self.ams[wf].config.task_failure_prob;
         if fail_prob > 0.0 && self.ams[wf].rng.gen_bool(fail_prob.clamp(0.0, 1.0)) {
-            let node = self.ams[wf].tasks[&task_id]
-                .container
-                .expect("assigned")
-                .node;
-            let cid = self.ams[wf].tasks[&task_id].container.expect("assigned").id;
-            self.containers.remove(&cid);
-            self.cluster.rm.release(cid);
-            self.handle_attempt_failure(wf, task_id, node, "simulated tool failure");
+            let container = self.ams[wf].tasks[&task_id].active[&attempt].container;
+            self.containers.remove(&container.id);
+            self.cluster.rm.release(container.id);
+            self.handle_attempt_failure(
+                wf,
+                task_id,
+                attempt,
+                container.node,
+                FailureKind::Task,
+                "simulated tool failure",
+            );
             return;
         }
-        self.begin_stage_out(wf, task_id);
+        self.begin_stage_out(wf, task_id, attempt);
     }
 
-    fn begin_stage_out(&mut self, wf: usize, task_id: TaskId) {
+    /// Cancels every active attempt of the task except `winner` — the
+    /// losers of a speculation race. Their container time is wasted but
+    /// the cancellation is not a failure: no strikes, no budgets.
+    fn cancel_other_attempts(&mut self, wf: usize, task_id: TaskId, winner: u32) {
+        let losers: Vec<u32> = self.ams[wf].tasks[&task_id]
+            .active
+            .keys()
+            .filter(|a| **a != winner)
+            .copied()
+            .collect();
+        let now = self.cluster.engine.now().as_secs();
+        for aid in losers {
+            let att = self.ams[wf]
+                .tasks
+                .get_mut(&task_id)
+                .expect("known")
+                .active
+                .remove(&aid)
+                .expect("listed");
+            for act in att.inflight {
+                self.cluster.engine.cancel(act);
+            }
+            self.containers.remove(&att.container.id);
+            self.cluster.rm.release(att.container.id);
+            let wasted = (now - att.t_start).max(0.0);
+            let node_name = self.cluster.node_name(att.container.node).to_string();
+            // Either twin can lose the race: the duplicate overtaking the
+            // straggler is the expected case, the other direction happens
+            // when the original recovers.
+            let outcome = if att.speculative {
+                "speculative-loser"
+            } else {
+                "primary-loser"
+            };
+            let am = &mut self.ams[wf];
+            am.wasted_secs += wasted;
+            let name = am.tasks[&task_id].spec.name.clone();
+            am.prov
+                .record_attempt(task_id.0, &name, &node_name, outcome, wasted);
+        }
+    }
+
+    fn begin_stage_out(&mut self, wf: usize, task_id: TaskId, attempt: u32) {
         let (node, outputs) = {
             let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
-            task.state = TaskState::StageOut;
-            task.reset_phase_state();
-            (
-                task.container.expect("assigned").node,
-                task.spec.outputs.clone(),
-            )
+            let att = task.active.get_mut(&attempt).expect("live");
+            att.phase = AttemptPhase::StageOut;
+            (att.container.node, task.spec.outputs.clone())
         };
         let now = self.cluster.engine.now();
         {
             let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
-            task.files_remaining = outputs.len();
+            let att = task.active.get_mut(&attempt).expect("live");
+            att.files_remaining = outputs.len();
         }
         if outputs.is_empty() {
-            self.finish_task(wf, task_id);
+            self.finish_task(wf, task_id, attempt);
             return;
         }
         let mut instantly_done: Vec<u32> = Vec::new();
         for (oi, out) in outputs.iter().enumerate() {
             let oi = oi as u32;
             self.charge_master_overhead(false);
+            // A previous attempt may have died mid-stage-out, leaving a
+            // registered-but-uncommitted file behind; drop it so the
+            // retry's create succeeds.
+            self.cluster.discard_uncommitted(&out.path);
             let plan = match self.cluster.hdfs.create(&out.path, out.size, node) {
                 Ok(plan) => plan,
                 Err(e) => {
-                    self.fail_workflow(wf, format!("stage-out of '{}' failed: {e}", out.path));
+                    let cid = self.ams[wf].tasks[&task_id].active[&attempt].container.id;
+                    self.containers.remove(&cid);
+                    self.cluster.rm.release(cid);
+                    self.handle_attempt_failure(
+                        wf,
+                        task_id,
+                        attempt,
+                        node,
+                        FailureKind::Infra,
+                        &format!("stage-out of '{}' failed: {e}", out.path),
+                    );
                     return;
                 }
             };
-            let tag = Tag::StageOut { wf: wf as u32, task: task_id, file: oi };
+            let tag = Tag::StageOut {
+                wf: wf as u32,
+                task: task_id,
+                attempt,
+                file: oi,
+            };
             let acts = hdfs_exec::start_write(&mut self.cluster.engine, &plan, tag);
             let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
-            task.group_started.insert(oi, now);
+            let att = task.active.get_mut(&attempt).expect("live");
+            att.group_started.insert(oi, now);
             if acts.is_empty() {
                 instantly_done.push(oi);
             } else {
-                task.group_remaining.insert(oi, acts.len());
-                task.inflight.extend(acts);
+                att.group_remaining.insert(oi, acts.len());
+                att.inflight.extend(acts);
             }
         }
         for oi in instantly_done {
-            self.on_stage_out_done(wf, task_id, oi);
+            self.on_stage_out_done(wf, task_id, attempt, oi);
         }
     }
 
-    fn on_stage_out_done(&mut self, wf: usize, task_id: TaskId, file: u32) {
+    fn on_stage_out_done(&mut self, wf: usize, task_id: TaskId, attempt: u32, file: u32) {
         let now = self.cluster.engine.now();
         let finished_file = {
-            let task = match self.ams[wf].tasks.get_mut(&task_id) {
-                Some(t) if t.state == TaskState::StageOut => t,
+            let att = match self.ams[wf]
+                .tasks
+                .get_mut(&task_id)
+                .and_then(|t| t.active.get_mut(&attempt))
+            {
+                Some(a) if a.phase == AttemptPhase::StageOut => a,
                 _ => return,
             };
-            match task.group_remaining.get_mut(&file) {
+            match att.group_remaining.get_mut(&file) {
                 Some(rem) if *rem > 1 => {
                     *rem -= 1;
                     false
                 }
                 _ => {
-                    task.group_remaining.remove(&file);
+                    att.group_remaining.remove(&file);
                     true
                 }
             }
@@ -898,8 +1347,9 @@ impl Runtime {
         }
         let (path, size, started) = {
             let task = &self.ams[wf].tasks[&task_id];
+            let att = &task.active[&attempt];
             let out = &task.spec.outputs[file as usize];
-            (out.path.clone(), out.size, task.group_started[&file])
+            (out.path.clone(), out.size, att.group_started[&file])
         };
         self.cluster.commit_file(&path);
         self.ams[wf].prov.record_file(FileEvent {
@@ -910,19 +1360,23 @@ impl Runtime {
             transfer_seconds: now.since(started),
         });
         let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
-        task.files_remaining -= 1;
-        if task.files_remaining == 0 {
-            self.finish_task(wf, task_id);
+        let att = task.active.get_mut(&attempt).expect("live");
+        att.files_remaining -= 1;
+        if att.files_remaining == 0 {
+            self.finish_task(wf, task_id, attempt);
         }
     }
 
-    fn finish_task(&mut self, wf: usize, task_id: TaskId) {
+    fn finish_task(&mut self, wf: usize, task_id: TaskId, attempt: u32) {
+        // Defensive: a twin should already have been cancelled at exec-win.
+        self.cancel_other_attempts(wf, task_id, attempt);
         let now = self.cluster.engine.now().as_secs();
         let (container, event, report) = {
             let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
             task.state = TaskState::Done;
             task.t_end = now;
-            let container = task.container.take().expect("assigned");
+            let att = task.active.remove(&attempt).expect("winner is live");
+            let container = att.container;
             let node_name = self.cluster.node_name(container.node).to_string();
             let spec = &task.spec;
             let event = TaskEvent {
@@ -942,7 +1396,11 @@ impl Runtime {
                         (p.clone(), size)
                     })
                     .collect(),
-                outputs: spec.outputs.iter().map(|o| (o.path.clone(), o.size)).collect(),
+                outputs: spec
+                    .outputs
+                    .iter()
+                    .map(|o| (o.path.clone(), o.size))
+                    .collect(),
                 cpu_seconds: spec.cost.cpu_seconds,
                 threads: spec.cost.threads,
                 memory_mb: spec.cost.memory_mb,
@@ -982,27 +1440,126 @@ impl Runtime {
         self.maybe_finish(wf);
     }
 
-    fn handle_attempt_failure(&mut self, wf: usize, task_id: TaskId, node: NodeId, why: &str) {
-        let retries = self.ams[wf].config.task_retries;
-        let exhausted = {
-            let task = self.ams[wf].tasks.get_mut(&task_id).expect("known task");
-            for act in task.inflight.drain() {
-                self.cluster.engine.cancel(act);
+    /// One attempt of a task died. The failure kind decides which retry
+    /// budget it burns: infrastructure losses (node crash, preemption,
+    /// storage loss) are not the task's fault and have their own, larger
+    /// allowance. The caller has already released the container lease (or
+    /// the node failure did). Surviving speculative twins keep the task
+    /// going without a retry; otherwise the task re-enters the queue after
+    /// an exponential backoff.
+    fn handle_attempt_failure(
+        &mut self,
+        wf: usize,
+        task_id: TaskId,
+        attempt: u32,
+        node: NodeId,
+        kind: FailureKind,
+        why: &str,
+    ) {
+        let now = self.cluster.engine.now().as_secs();
+        let Some(task) = self.ams[wf].tasks.get_mut(&task_id) else {
+            return;
+        };
+        let Some(att) = task.active.remove(&attempt) else {
+            return; // already cancelled or finished
+        };
+        for act in att.inflight {
+            self.cluster.engine.cancel(act);
+        }
+        self.containers.remove(&att.container.id);
+        let wasted = (now - att.t_start).max(0.0);
+        let node_name = self.cluster.node_name(node).to_string();
+        let am = &mut self.ams[wf];
+        am.wasted_secs += wasted;
+        let outcome = match kind {
+            FailureKind::Infra => {
+                am.infra_failures += 1;
+                "infra-failure"
             }
-            task.container = None;
-            task.avoid_node = Some(node);
-            task.reset_phase_state();
-            task.attempts > retries
+            FailureKind::Task => {
+                am.task_failures += 1;
+                "task-failure"
+            }
+        };
+        am.strike_node(node, now);
+        let task = am.tasks.get_mut(&task_id).expect("looked up above");
+        match kind {
+            FailureKind::Infra => task.infra_failures += 1,
+            FailureKind::Task => task.task_failures += 1,
+        }
+        task.avoid_node = Some(node);
+        let name = task.spec.name.clone();
+        am.prov
+            .record_attempt(task_id.0, &name, &node_name, outcome, wasted);
+
+        let task = self.ams[wf]
+            .tasks
+            .get_mut(&task_id)
+            .expect("looked up above");
+        if !task.active.is_empty() {
+            // A speculative twin is still running and carries the task.
+            task.speculating = false;
+            return;
+        }
+        let config = &self.ams[wf].config;
+        let (exhausted, budget_name) = {
+            let task = &self.ams[wf].tasks[&task_id];
+            match kind {
+                FailureKind::Task => (task.task_failures > config.task_retries, "task"),
+                FailureKind::Infra => (task.infra_failures > config.infra_retries, "infra"),
+            }
         };
         if exhausted {
             self.fail_workflow(
                 wf,
-                format!("task {task_id:?} failed too many times (last: {why})"),
+                format!(
+                    "task {task_id:?} failed too many times ({budget_name} budget; last: {why})"
+                ),
             );
             return;
         }
-        // Back to Requested with a fresh container ask; YARN will place it
-        // "on different compute nodes" thanks to the avoid list.
+        // Exponential backoff before the fresh container ask; YARN will
+        // place the retry "on different compute nodes" thanks to the
+        // avoid list and the node blacklist.
+        let failures = {
+            let task = &self.ams[wf].tasks[&task_id];
+            (task.task_failures + task.infra_failures).max(1)
+        };
+        let base = self.ams[wf].config.retry_backoff_secs;
+        let max = self.ams[wf].config.retry_backoff_max_secs;
+        let delay = (base * 2f64.powi(failures as i32 - 1)).min(max.max(base));
+        if delay > 0.0 {
+            self.ams[wf].tasks.get_mut(&task_id).expect("known").state = TaskState::Backoff;
+            self.cluster.engine.set_timer_after(
+                delay,
+                Tag::RetryTask {
+                    wf: wf as u32,
+                    task: task_id,
+                },
+            );
+        } else {
+            self.requeue_task(wf, task_id);
+        }
+    }
+
+    /// A task's retry backoff elapsed: put it back in the ready queue with
+    /// a fresh container request.
+    fn on_retry_due(&mut self, wf: usize, task_id: TaskId) {
+        if !self.ams[wf].active() {
+            return;
+        }
+        let due = self.ams[wf]
+            .tasks
+            .get(&task_id)
+            .is_some_and(|t| t.state == TaskState::Backoff);
+        if !due {
+            return;
+        }
+        self.requeue_task(wf, task_id);
+        self.arm_heartbeat();
+    }
+
+    fn requeue_task(&mut self, wf: usize, task_id: TaskId) {
         let resource = {
             let spec = &self.ams[wf].tasks[&task_id].spec;
             self.container_resource_for(wf, spec)
@@ -1019,16 +1576,18 @@ impl Runtime {
         let am = &mut self.ams[wf];
         am.error = Some(message);
         // Cancel everything in flight and release the containers.
-        let inflight: Vec<(ContainerId, TaskId)> = self
+        let inflight: Vec<(ContainerId, TaskId, u32)> = self
             .containers
             .iter()
-            .filter(|(_, (w, _))| *w == wf)
-            .map(|(cid, (_, tid))| (*cid, *tid))
+            .filter(|(_, (w, _, _))| *w == wf)
+            .map(|(cid, (_, tid, aid))| (*cid, *tid, *aid))
             .collect();
-        for (cid, tid) in inflight {
+        for (cid, tid, aid) in inflight {
             if let Some(task) = self.ams[wf].tasks.get_mut(&tid) {
-                for act in task.inflight.drain() {
-                    self.cluster.engine.cancel(act);
+                if let Some(att) = task.active.remove(&aid) {
+                    for act in att.inflight {
+                        self.cluster.engine.cancel(act);
+                    }
                 }
             }
             self.containers.remove(&cid);

@@ -27,6 +27,7 @@
 pub mod cluster;
 pub mod config;
 pub mod driver;
+pub mod faults;
 pub mod provenance;
 pub mod report;
 pub mod scheduler;
@@ -34,5 +35,6 @@ pub mod scheduler;
 pub use cluster::Cluster;
 pub use config::{HiwayConfig, SchedulerPolicy};
 pub use driver::Runtime;
+pub use faults::{FaultConfig, FaultInjector, FaultPlan};
 pub use provenance::ProvenanceManager;
 pub use report::{TaskReport, WorkflowReport};

@@ -20,6 +20,7 @@ use hiway_provdb::{Aggregate, Op, ProvDb};
 pub const TASKS_COLLECTION: &str = "task_events";
 pub const FILES_COLLECTION: &str = "file_events";
 pub const WORKFLOWS_COLLECTION: &str = "workflow_events";
+pub const ATTEMPTS_COLLECTION: &str = "attempt_events";
 
 /// Per-workflow provenance recorder over a (possibly shared, long-lived)
 /// provenance database. Sharing the database across runs is what feeds the
@@ -34,7 +35,10 @@ impl ProvenanceManager {
     pub fn new(db: ProvDb) -> ProvenanceManager {
         // Index the hot lookup fields once; index creation is idempotent.
         db.collection(TASKS_COLLECTION).create_index("name");
-        ProvenanceManager { db, events: Vec::new() }
+        ProvenanceManager {
+            db,
+            events: Vec::new(),
+        }
     }
 
     /// The shared database handle (e.g. to pass to the next workflow run).
@@ -54,6 +58,43 @@ impl ProvenanceManager {
             .with("command", event.command.as_str());
         self.db.collection(TASKS_COLLECTION).insert(doc);
         self.events.push(TraceEvent::Task(event));
+    }
+
+    /// Records the fate of one container attempt that did *not* commit the
+    /// task's result — a tool crash, an infrastructure loss (node crash,
+    /// preemption), or a cancelled speculative duplicate. Successful
+    /// attempts are implied by the task event itself. Keeping these in the
+    /// provenance store means a chaotic run's history is fully auditable
+    /// while its trace file stays a re-executable workflow (§3.5): replay
+    /// re-runs only the attempts that actually produced data.
+    pub fn record_attempt(
+        &mut self,
+        task: u64,
+        name: &str,
+        node: &str,
+        outcome: &str,
+        container_secs: f64,
+    ) {
+        let doc = Json::object()
+            .with("task", task)
+            .with("name", name)
+            .with("node", node)
+            .with("outcome", outcome)
+            .with("container_secs", container_secs);
+        self.db.collection(ATTEMPTS_COLLECTION).insert(doc);
+    }
+
+    /// Number of recorded non-successful attempts with `outcome` (pass ""
+    /// to count all outcomes).
+    pub fn attempt_count(&self, outcome: &str) -> usize {
+        let q = self.db.collection(ATTEMPTS_COLLECTION).query();
+        let q = if outcome.is_empty() {
+            q
+        } else {
+            q.filter("outcome", Op::Eq, outcome)
+        };
+        q.aggregate("container_secs", Aggregate::Count)
+            .unwrap_or(0.0) as usize
     }
 
     /// Records a file staged in or out of a task's container.
@@ -182,7 +223,10 @@ impl ProvenanceManager {
         }
         let (mut secs, mut bytes) = (0.0, 0.0);
         for d in docs {
-            secs += d.get("transfer_seconds").and_then(Json::as_f64).unwrap_or(0.0);
+            secs += d
+                .get("transfer_seconds")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
             bytes += d.get("size").and_then(Json::as_f64).unwrap_or(0.0);
         }
         if bytes > 0.0 {

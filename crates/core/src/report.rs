@@ -40,6 +40,17 @@ pub struct WorkflowReport {
     pub trace: String,
     /// HDFS path the trace was stored under, if written.
     pub trace_path: Option<String>,
+    /// Container-seconds burnt by attempts that did not produce the
+    /// task's result: failed attempts and cancelled speculative copies.
+    pub wasted_container_secs: f64,
+    /// Attempt failures caused by the infrastructure (node crash,
+    /// container preemption) — these do not count against a task's
+    /// retry budget.
+    pub infra_failures: u32,
+    /// Attempt failures caused by the task itself (tool crash).
+    pub task_failures: u32,
+    /// Speculative duplicate attempts launched against stragglers.
+    pub speculative_attempts: u32,
 }
 
 impl WorkflowReport {
@@ -96,6 +107,10 @@ mod tests {
             ],
             trace: String::new(),
             trace_path: None,
+            wasted_container_secs: 0.0,
+            infra_failures: 0,
+            task_failures: 0,
+            speculative_attempts: 0,
         };
         assert_eq!(r.runtime_secs(), 180.0);
         assert_eq!(r.runtime_mins(), 3.0);

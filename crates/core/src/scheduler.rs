@@ -105,7 +105,12 @@ impl Scheduler for FcfsScheduler {
         ContainerRequest::anywhere(resource)
     }
 
-    fn select_task(&mut self, _node: NodeId, candidates: &[&TaskSpec], _hdfs: &Hdfs) -> Option<TaskId> {
+    fn select_task(
+        &mut self,
+        _node: NodeId,
+        candidates: &[&TaskSpec],
+        _hdfs: &Hdfs,
+    ) -> Option<TaskId> {
         candidates.first().map(|t| t.id)
     }
 
@@ -124,7 +129,12 @@ impl Scheduler for DataAwareScheduler {
         ContainerRequest::anywhere(resource)
     }
 
-    fn select_task(&mut self, node: NodeId, candidates: &[&TaskSpec], hdfs: &Hdfs) -> Option<TaskId> {
+    fn select_task(
+        &mut self,
+        node: NodeId,
+        candidates: &[&TaskSpec],
+        hdfs: &Hdfs,
+    ) -> Option<TaskId> {
         // Liveness is invariant across candidates: on a dead DataNode every
         // fraction is zero, and the tie-break degenerates to FCFS.
         if !hdfs.is_alive(node) {
@@ -158,7 +168,10 @@ pub struct StaticScheduler {
 impl StaticScheduler {
     pub fn new(policy: SchedulerPolicy) -> StaticScheduler {
         debug_assert!(policy.is_static());
-        StaticScheduler { policy, assignment: HashMap::new() }
+        StaticScheduler {
+            policy,
+            assignment: HashMap::new(),
+        }
     }
 
     /// The planned node for a task (exposed for tests and diagnostics).
@@ -198,12 +211,16 @@ impl StaticScheduler {
                 nodes
                     .iter()
                     .map(|node| {
-                        prov.latest_runtime(&t.name, &node_names[node.index()]).unwrap_or(0.0)
+                        prov.latest_runtime(&t.name, &node_names[node.index()])
+                            .unwrap_or(0.0)
                     })
                     .collect()
             })
             .collect();
-        let w_avg: Vec<f64> = w.iter().map(|row| row.iter().sum::<f64>() / n as f64).collect();
+        let w_avg: Vec<f64> = w
+            .iter()
+            .map(|row| row.iter().sum::<f64>() / n as f64)
+            .collect();
 
         // File-mediated successor lists.
         let mut producer_of: HashMap<&str, usize> = HashMap::new();
@@ -225,12 +242,7 @@ impl StaticScheduler {
 
         // Upward ranks via reverse topological order (memoized DFS).
         let mut rank = vec![f64::NAN; tasks.len()];
-        fn upward(
-            i: usize,
-            rank: &mut Vec<f64>,
-            children: &[Vec<usize>],
-            w_avg: &[f64],
-        ) -> f64 {
+        fn upward(i: usize, rank: &mut Vec<f64>, children: &[Vec<usize>], w_avg: &[f64]) -> f64 {
             if !rank[i].is_nan() {
                 return rank[i];
             }
@@ -312,7 +324,12 @@ impl Scheduler for StaticScheduler {
         }
     }
 
-    fn select_task(&mut self, node: NodeId, candidates: &[&TaskSpec], _hdfs: &Hdfs) -> Option<TaskId> {
+    fn select_task(
+        &mut self,
+        node: NodeId,
+        candidates: &[&TaskSpec],
+        _hdfs: &Hdfs,
+    ) -> Option<TaskId> {
         candidates
             .iter()
             .find(|t| self.assignment.get(&t.id) == Some(&node))
@@ -346,7 +363,12 @@ impl Scheduler for AdaptiveScheduler {
         ContainerRequest::anywhere(resource)
     }
 
-    fn select_task(&mut self, _node: NodeId, candidates: &[&TaskSpec], _hdfs: &Hdfs) -> Option<TaskId> {
+    fn select_task(
+        &mut self,
+        _node: NodeId,
+        candidates: &[&TaskSpec],
+        _hdfs: &Hdfs,
+    ) -> Option<TaskId> {
         candidates.first().map(|t| t.id)
     }
 
@@ -383,7 +405,11 @@ impl Scheduler for AdaptiveScheduler {
                     t.id,
                     score(t),
                     // Locality as the tie-breaker.
-                    if node_alive { -hdfs.locality_fraction(&t.inputs, node) } else { 0.0 },
+                    if node_alive {
+                        -hdfs.locality_fraction(&t.inputs, node)
+                    } else {
+                        0.0
+                    },
                 )
             })
             // Earliest-ready wins remaining ties (stable min by rev+min_by).
@@ -405,7 +431,10 @@ impl Scheduler for AdaptiveScheduler {
     ) -> bool {
         // Decline when this node is known to run the signature much
         // slower than its cross-node average — wait for a faster host.
-        match (prov.latest_runtime(&task.name, node_name), prov.average_runtime(&task.name)) {
+        match (
+            prov.latest_runtime(&task.name, node_name),
+            prov.average_runtime(&task.name),
+        ) {
             (Some(here), Some(avg)) if avg > 0.0 => here > avg * 1.5,
             _ => false, // unexplored: accept (and learn)
         }
@@ -430,7 +459,10 @@ mod tests {
             inputs: inputs.iter().map(|s| s.to_string()).collect(),
             outputs: outputs
                 .iter()
-                .map(|s| OutputSpec { path: s.to_string(), size: 10 })
+                .map(|s| OutputSpec {
+                    path: s.to_string(),
+                    size: 10,
+                })
                 .collect(),
             cost: TaskCost::default(),
         }
@@ -474,7 +506,10 @@ mod tests {
     fn data_aware_prefers_local_input() {
         // Replication 1 keeps each file on exactly its writer's node, so
         // the locality fractions are unambiguous.
-        let config = hiway_hdfs::HdfsConfig { replication: 1, ..Default::default() };
+        let config = hiway_hdfs::HdfsConfig {
+            replication: 1,
+            ..Default::default()
+        };
         let mut hdfs = Hdfs::new(4, config, 3);
         hdfs.create("/big0", 100 << 20, NodeId(0)).unwrap();
         hdfs.create("/big2", 100 << 20, NodeId(2)).unwrap();
@@ -483,8 +518,14 @@ mod tests {
         let mut s = DataAwareScheduler;
         // Container on node 2: the task whose input lives there wins even
         // though t0 is ahead in the queue.
-        assert_eq!(s.select_task(NodeId(2), &[&t0, &t2], &hdfs), Some(TaskId(1)));
-        assert_eq!(s.select_task(NodeId(0), &[&t0, &t2], &hdfs), Some(TaskId(0)));
+        assert_eq!(
+            s.select_task(NodeId(2), &[&t0, &t2], &hdfs),
+            Some(TaskId(1))
+        );
+        assert_eq!(
+            s.select_task(NodeId(0), &[&t0, &t2], &hdfs),
+            Some(TaskId(0))
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ fn task(id: u64, name: &str, inputs: &[&str], outputs: &[(&str, u64)], cpu: f64)
         inputs: inputs.iter().map(|s| s.to_string()).collect(),
         outputs: outputs
             .iter()
-            .map(|(p, s)| OutputSpec { path: p.to_string(), size: *s })
+            .map(|(p, s)| OutputSpec {
+                path: p.to_string(),
+                size: *s,
+            })
             .collect(),
         cost: TaskCost::new(cpu, 1, 256),
     }
@@ -53,7 +56,10 @@ fn diamond_runs_to_completion_fcfs() {
     assert!(rt.error_of(wf).is_none(), "{:?}", rt.error_of(wf));
     let r = &reports[wf];
     assert_eq!(r.tasks.len(), 4);
-    assert!(r.runtime_secs() > 17.0, "at least the critical path of CPU time");
+    assert!(
+        r.runtime_secs() > 17.0,
+        "at least the critical path of CPU time"
+    );
     // Execution respected the dependencies.
     let t_of = |name: &str| r.tasks.iter().find(|t| t.name == name).unwrap();
     assert!(t_of("pre").t_end <= t_of("left").t_start);
@@ -92,7 +98,11 @@ fn trace_replay_executes_the_same_tasks() {
     let reports2 = rt2.run_to_completion();
     assert!(rt2.error_of(wf2).is_none(), "{:?}", rt2.error_of(wf2));
     assert_eq!(reports2[wf2].tasks.len(), 4);
-    let mut names: Vec<&str> = reports2[wf2].tasks.iter().map(|t| t.name.as_str()).collect();
+    let mut names: Vec<&str> = reports2[wf2]
+        .tasks
+        .iter()
+        .map(|t| t.name.as_str())
+        .collect();
     names.sort_unstable();
     assert_eq!(names, vec!["join", "left", "pre", "right"]);
 }
@@ -212,7 +222,10 @@ fn failed_attempts_are_retried_and_recorded() {
     assert!(rt.error_of(idx).is_none(), "{:?}", rt.error_of(idx));
     assert_eq!(reports[idx].tasks.len(), 6);
     let total_attempts: u32 = reports[idx].tasks.iter().map(|t| t.attempts).sum();
-    assert!(total_attempts > 6, "with p=0.3 some attempt must have failed");
+    assert!(
+        total_attempts > 6,
+        "with p=0.3 some attempt must have failed"
+    );
 }
 
 #[test]
@@ -347,7 +360,13 @@ fn external_inputs_are_fetched_during_execution() {
         Box::new(StaticWorkflow::new(
             "s3-fetch",
             "test",
-            vec![task(0, "align", &["s3://bucket/reads.fq"], &[("/aln", 80 << 20)], 10.0)],
+            vec![task(
+                0,
+                "align",
+                &["s3://bucket/reads.fq"],
+                &[("/aln", 80 << 20)],
+                10.0,
+            )],
         )),
         HiwayConfig::default(),
         ProvDb::new(),
@@ -372,8 +391,16 @@ fn tailored_containers_pack_mixed_workloads_tighter() {
                 name: "heavy".into(),
                 command: "heavy".into(),
                 inputs: vec!["/in".into()],
-                outputs: vec![OutputSpec { path: format!("/h{i}"), size: 1 << 10 }],
-                cost: hiway_lang::TaskCost { cpu_seconds: 40.0, threads: 2, memory_mb: 4000, scratch_bytes: 0 },
+                outputs: vec![OutputSpec {
+                    path: format!("/h{i}"),
+                    size: 1 << 10,
+                }],
+                cost: hiway_lang::TaskCost {
+                    cpu_seconds: 40.0,
+                    threads: 2,
+                    memory_mb: 4000,
+                    scratch_bytes: 0,
+                },
             });
         }
         for i in 0..8 {
@@ -382,8 +409,16 @@ fn tailored_containers_pack_mixed_workloads_tighter() {
                 name: "light".into(),
                 command: "light".into(),
                 inputs: vec!["/in".into()],
-                outputs: vec![OutputSpec { path: format!("/l{i}"), size: 1 << 10 }],
-                cost: hiway_lang::TaskCost { cpu_seconds: 20.0, threads: 1, memory_mb: 1000, scratch_bytes: 0 },
+                outputs: vec![OutputSpec {
+                    path: format!("/l{i}"),
+                    size: 1 << 10,
+                }],
+                cost: hiway_lang::TaskCost {
+                    cpu_seconds: 20.0,
+                    threads: 1,
+                    memory_mb: 1000,
+                    scratch_bytes: 0,
+                },
             });
         }
         tasks
@@ -474,7 +509,10 @@ fn scratch_io_extends_execution_on_local_disk() {
             name: "tool".into(),
             command: "tool".into(),
             inputs: vec!["/in".into()],
-            outputs: vec![OutputSpec { path: "/out".into(), size: 1 << 20 }],
+            outputs: vec![OutputSpec {
+                path: "/out".into(),
+                size: 1 << 20,
+            }],
             cost: TaskCost::new(10.0, 1, 256).with_scratch(scratch),
         };
         let mut rt = Runtime::new(cluster);
@@ -580,4 +618,203 @@ fn trace_files_warm_the_statistics_of_a_fresh_database() {
     assert_eq!(loaded, 1);
     let estimate = fresh.latest_runtime("sig", &node).expect("warm estimate");
     assert!(estimate > 25.0, "makespan covers exec: {estimate}");
+}
+
+#[test]
+fn preemption_is_infra_and_spares_the_task_budget() {
+    // A task with a zero task-retry budget survives repeated container
+    // preemptions: infrastructure failures draw from their own allowance.
+    let mut cluster = small_cluster(3);
+    cluster.prestage("/in", 1 << 20);
+    let mut rt = Runtime::new(cluster);
+    let config = HiwayConfig {
+        task_retries: 0, // one tool crash would end the workflow...
+        retry_backoff_secs: 1.0,
+        ..HiwayConfig::default().with_scheduler(SchedulerPolicy::Fcfs)
+    };
+    let idx = rt.submit(
+        Box::new(StaticWorkflow::new(
+            "preempted",
+            "test",
+            vec![task(0, "t", &["/in"], &[("/o", 1 << 10)], 60.0)],
+        )),
+        config,
+        ProvDb::new(),
+    );
+    // Preempt the task's container three times, mid-exec each time.
+    let mut t = 10.0;
+    for _ in 0..3 {
+        assert!(rt.run_until(hiway_sim::SimTime::from_secs(t)));
+        let live = rt.worker_containers();
+        assert_eq!(live.len(), 1, "exactly one task container at t={t}");
+        assert!(rt.preempt_container(live[0]));
+        t += 30.0;
+    }
+    let reports = rt.run_to_completion();
+    assert!(rt.error_of(idx).is_none(), "{:?}", rt.error_of(idx));
+    assert_eq!(reports[idx].tasks.len(), 1);
+    assert_eq!(
+        reports[idx].tasks[0].attempts, 4,
+        "3 preempted + 1 successful"
+    );
+    assert_eq!(reports[idx].infra_failures, 3);
+    assert_eq!(reports[idx].task_failures, 0);
+    assert!(reports[idx].wasted_container_secs > 0.0);
+}
+
+#[test]
+fn infra_budget_exhaustion_fails_the_workflow() {
+    let mut cluster = small_cluster(3);
+    cluster.prestage("/in", 1 << 20);
+    let mut rt = Runtime::new(cluster);
+    let config = HiwayConfig {
+        task_retries: 10,
+        infra_retries: 1, // two infra losses exhaust the budget
+        retry_backoff_secs: 1.0,
+        ..HiwayConfig::default().with_scheduler(SchedulerPolicy::Fcfs)
+    };
+    let idx = rt.submit(
+        Box::new(StaticWorkflow::new(
+            "fragile-infra",
+            "test",
+            vec![task(0, "t", &["/in"], &[("/o", 1 << 10)], 120.0)],
+        )),
+        config,
+        ProvDb::new(),
+    );
+    let mut t = 10.0;
+    for _ in 0..2 {
+        assert!(rt.run_until(hiway_sim::SimTime::from_secs(t)));
+        let live = rt.worker_containers();
+        assert_eq!(live.len(), 1);
+        rt.preempt_container(live[0]);
+        t += 30.0;
+    }
+    rt.run_to_completion();
+    let err = rt.error_of(idx).expect("infra budget exhausted");
+    assert!(err.contains("infra budget"), "{err}");
+}
+
+#[test]
+fn retry_backoff_delays_the_new_attempt() {
+    // One 10-CPU-s task, preempted once: with a 20 s backoff the rerun
+    // cannot start before ~26 s, so completion lands well past 30 s.
+    let run = |backoff: f64| -> f64 {
+        let mut cluster = small_cluster(2);
+        cluster.prestage("/in", 1 << 20);
+        let mut rt = Runtime::new(cluster);
+        let config = HiwayConfig {
+            retry_backoff_secs: backoff,
+            retry_backoff_max_secs: backoff,
+            ..HiwayConfig::default().with_scheduler(SchedulerPolicy::Fcfs)
+        };
+        let idx = rt.submit(
+            Box::new(StaticWorkflow::new(
+                "backoff",
+                "test",
+                vec![task(0, "t", &["/in"], &[("/o", 1 << 10)], 10.0)],
+            )),
+            config,
+            ProvDb::new(),
+        );
+        assert!(rt.run_until(hiway_sim::SimTime::from_secs(6.0)));
+        let live = rt.worker_containers();
+        assert_eq!(live.len(), 1);
+        rt.preempt_container(live[0]);
+        let reports = rt.run_to_completion();
+        assert!(rt.error_of(idx).is_none(), "{:?}", rt.error_of(idx));
+        reports[idx].runtime_secs()
+    };
+    let quick = run(0.5);
+    let slow = run(20.0);
+    assert!(
+        slow > quick + 15.0,
+        "backoff must delay the retry: {quick:.1}s vs {slow:.1}s"
+    );
+}
+
+#[test]
+fn recovered_node_rejoins_the_cluster_and_runs_tasks() {
+    // Crash a worker mid-run, bring it back, and verify the cluster is
+    // whole again: full capacity, fresh DataNode, workflow completes.
+    let mut cluster = small_cluster(3);
+    cluster.prestage("/in", 32 << 20);
+    let tasks: Vec<TaskSpec> = (0..10)
+        .map(|i| task(i, "wave", &["/in"], &[(&format!("/o{i}"), 4 << 20)], 60.0))
+        .collect();
+    let mut rt = Runtime::new(cluster);
+    let config = HiwayConfig {
+        blacklist_decay_secs: 30.0, // let the revived node earn back trust
+        retry_backoff_secs: 1.0,
+        ..HiwayConfig::default().with_scheduler(SchedulerPolicy::Fcfs)
+    };
+    let idx = rt.submit(
+        Box::new(StaticWorkflow::new("rejoin", "test", tasks)),
+        config,
+        ProvDb::new(),
+    );
+    assert!(rt.run_until(hiway_sim::SimTime::from_secs(20.0)));
+    let victim = NodeId(2);
+    rt.fail_node(victim);
+    rt.cluster.re_replicate();
+    assert!(rt.run_until(hiway_sim::SimTime::from_secs(60.0)));
+    rt.recover_node(victim);
+    let reports = rt.run_to_completion();
+    assert!(rt.error_of(idx).is_none(), "{:?}", rt.error_of(idx));
+    assert_eq!(reports[idx].tasks.len(), 10);
+    assert!(rt.cluster.rm.is_alive(victim));
+    assert!(rt.cluster.hdfs.is_alive(victim));
+    assert_eq!(rt.cluster.rm.available(victim), rt.cluster.rm.total(victim));
+    // Post-recovery waves may use the revived node again (its blacklist
+    // strikes decayed) — at minimum, tasks DID run during its downtime.
+    let nodes: std::collections::HashSet<&str> =
+        reports[idx].tasks.iter().map(|t| t.node.as_str()).collect();
+    assert!(!nodes.is_empty());
+}
+
+#[test]
+fn speculative_duplicate_rescues_a_straggler() {
+    // Six same-signature tasks on a cluster whose third node is heavily
+    // CPU-stressed: the fast nodes' completions warm the runtime estimate,
+    // the task stuck on the slow node overshoots it, a duplicate launches
+    // on a fast node and wins, and the straggler attempt is cancelled.
+    let spec = ClusterSpec::homogeneous(3, "w", &NodeSpec::m3_large("proto"));
+    let mut cluster = Cluster::new(spec, 7);
+    cluster.add_cpu_stress(NodeId(2), 8); // ~9x slowdown
+    cluster.prestage("/in", 1 << 20);
+    let tasks: Vec<TaskSpec> = (0..6)
+        .map(|i| task(i, "sig", &["/in"], &[(&format!("/o{i}"), 1 << 10)], 10.0))
+        .collect();
+    let mut rt = Runtime::new(cluster);
+    let config = HiwayConfig {
+        speculative_execution: true,
+        speculation_factor: 1.8,
+        speculation_min_secs: 5.0,
+        ..HiwayConfig::default().with_scheduler(SchedulerPolicy::Fcfs)
+    };
+    let idx = rt.submit(
+        Box::new(StaticWorkflow::new("straggle", "test", tasks)),
+        config,
+        ProvDb::new(),
+    );
+    let reports = rt.run_to_completion();
+    assert!(rt.error_of(idx).is_none(), "{:?}", rt.error_of(idx));
+    assert_eq!(reports[idx].tasks.len(), 6);
+    assert!(
+        reports[idx].speculative_attempts >= 1,
+        "no duplicate launched"
+    );
+    assert!(
+        reports[idx].wasted_container_secs > 0.0,
+        "loser time is waste"
+    );
+    // Without speculation the stragglers pin the makespan to ~90 s.
+    assert!(
+        reports[idx].runtime_secs() < 80.0,
+        "speculation did not rescue: {:.1}s",
+        reports[idx].runtime_secs()
+    );
+    // The lost race is in the provenance record.
+    let prov = rt.provenance(idx);
+    assert!(prov.attempt_count("primary-loser") + prov.attempt_count("speculative-loser") >= 1);
 }

@@ -30,7 +30,10 @@ fn layered_dag(layers: &[usize], cpu: f64) -> StaticWorkflow {
                 name: format!("layer{li}"),
                 command: format!("tool-l{li}"),
                 inputs,
-                outputs: vec![OutputSpec { path: out.clone(), size: 1 << 20 }],
+                outputs: vec![OutputSpec {
+                    path: out.clone(),
+                    size: 1 << 20,
+                }],
                 cost: TaskCost::new(cpu, 1 + (w % 2) as u32, 256),
             });
             outputs.push(out);

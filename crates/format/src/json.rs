@@ -572,8 +572,16 @@ mod tests {
 
     #[test]
     fn object_preserves_insertion_order() {
-        let v = Json::object().with("z", 1u64).with("a", 2u64).with("m", 3u64);
-        let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let v = Json::object()
+            .with("z", 1u64)
+            .with("a", 2u64)
+            .with("m", 3u64);
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
         assert_eq!(keys, vec!["z", "a", "m"]);
     }
 

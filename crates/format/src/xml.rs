@@ -57,7 +57,9 @@ impl XmlElement {
         &'e self,
         name: &'n str,
     ) -> impl Iterator<Item = &'e XmlElement> + 'e {
-        self.children.iter().filter(move |c| local_name(&c.name) == name)
+        self.children
+            .iter()
+            .filter(move |c| local_name(&c.name) == name)
     }
 
     /// First child with a given tag name.
@@ -279,8 +281,9 @@ fn unescape(s: &str) -> String {
                     "quot" => out.push('"'),
                     "apos" => out.push('\''),
                     e if e.starts_with("#x") || e.starts_with("#X") => {
-                        if let Some(c) =
-                            u32::from_str_radix(&e[2..], 16).ok().and_then(char::from_u32)
+                        if let Some(c) = u32::from_str_radix(&e[2..], 16)
+                            .ok()
+                            .and_then(char::from_u32)
                         {
                             out.push(c);
                         }
@@ -336,18 +339,18 @@ mod tests {
         let job = el.child_named("job").unwrap();
         assert_eq!(job.attr("id"), Some("ID1"));
         assert_eq!(job.children_named("uses").count(), 2);
-        assert_eq!(
-            job.child_named("argument").unwrap().text,
-            "-x input.fits"
-        );
+        assert_eq!(job.child_named("argument").unwrap().text, "-x input.fits");
         let child = el.child_named("child").unwrap();
-        assert_eq!(child.child_named("parent").unwrap().attr("ref"), Some("ID1"));
+        assert_eq!(
+            child.child_named("parent").unwrap().attr("ref"),
+            Some("ID1")
+        );
     }
 
     #[test]
     fn entities_unescaped() {
-        let el = XmlElement::parse(r#"<a v="&lt;x&gt; &amp; &quot;y&quot;">&#65;&#x42;</a>"#)
-            .unwrap();
+        let el =
+            XmlElement::parse(r#"<a v="&lt;x&gt; &amp; &quot;y&quot;">&#65;&#x42;</a>"#).unwrap();
         assert_eq!(el.attr("v"), Some(r#"<x> & "y""#));
         assert_eq!(el.text, "AB");
     }

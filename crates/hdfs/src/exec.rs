@@ -14,11 +14,7 @@ use crate::plan::{ReadPlan, TransferSource, WritePlan};
 /// Starts all activities of a read (stage-in) plan, tagging each with
 /// `tag`. Returns the activity handles; the stage is complete when all of
 /// them have completed. Zero-byte plans return no activities.
-pub fn start_read<T: Clone>(
-    engine: &mut Engine<T>,
-    plan: &ReadPlan,
-    tag: T,
-) -> Vec<ActivityId> {
+pub fn start_read<T: Clone>(engine: &mut Engine<T>, plan: &ReadPlan, tag: T) -> Vec<ActivityId> {
     let reader = plan
         .reader
         .expect("read plan must name the reading node to be executable");
@@ -43,11 +39,7 @@ pub fn start_read<T: Clone>(
 
 /// Starts all activities of a write (stage-out) plan: the local replica
 /// write plus one pipeline flow per remote replica target.
-pub fn start_write<T: Clone>(
-    engine: &mut Engine<T>,
-    plan: &WritePlan,
-    tag: T,
-) -> Vec<ActivityId> {
+pub fn start_write<T: Clone>(engine: &mut Engine<T>, plan: &WritePlan, tag: T) -> Vec<ActivityId> {
     let mut ids = Vec::new();
     if plan.local_bytes > 0 {
         ids.push(engine.start(
@@ -126,7 +118,11 @@ mod tests {
         // Local write + pipeline flows to the remote replica holders (the
         // per-block targets are random, so 2 or 3 distinct nodes).
         assert!(ids.len() >= 3 && ids.len() <= 4, "got {}", ids.len());
-        assert_eq!(wp.total_network_bytes(), 2 * (180 << 20), "2 remote replicas");
+        assert_eq!(
+            wp.total_network_bytes(),
+            2 * (180 << 20),
+            "2 remote replicas"
+        );
         assert_eq!(drain(&mut e), ids.len());
         let write_done = e.now();
         assert!(write_done.as_secs() > 0.0);

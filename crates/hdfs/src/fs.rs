@@ -226,10 +226,8 @@ impl Hdfs {
             }
         }
 
-        self.files.insert(
-            path.to_string(),
-            FileMeta { size, blocks },
-        );
+        self.files
+            .insert(path.to_string(), FileMeta { size, blocks });
         self.bump_epoch();
         Ok(WritePlan {
             path: path.to_string(),
@@ -351,8 +349,7 @@ impl Hdfs {
             .ok_or_else(|| HdfsError::NotFound(path.to_string()))?;
         for block in &meta.blocks {
             for n in &block.replicas {
-                self.used_bytes[n.index()] =
-                    self.used_bytes[n.index()].saturating_sub(block.size);
+                self.used_bytes[n.index()] = self.used_bytes[n.index()].saturating_sub(block.size);
             }
         }
         self.bump_epoch();
@@ -395,6 +392,11 @@ impl Hdfs {
     /// True if the DataNode is alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
         node.index() < self.alive.len() && self.alive[node.index()]
+    }
+
+    /// Number of alive DataNodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
     }
 
     /// Restores the replication factor for every under-replicated block.
@@ -492,7 +494,10 @@ mod tests {
         let _ = h.create("/b", 10, NodeId(0)).unwrap();
         let st = h.status("/b").unwrap();
         assert_eq!(st.blocks.len(), 3);
-        assert_eq!(st.blocks.iter().map(|b| b.size).collect::<Vec<_>>(), vec![4, 4, 2]);
+        assert_eq!(
+            st.blocks.iter().map(|b| b.size).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
         // Block replica sets differ (placement diversity): with 4 nodes and
         // a seeded RNG, at least the union spans more than 2 nodes.
         let mut nodes: Vec<u32> = st
@@ -563,7 +568,10 @@ mod tests {
     #[test]
     fn locality_ignores_bytes_lost_to_dead_nodes() {
         // Replication 1: each file lives on exactly one node.
-        let config = HdfsConfig { replication: 1, ..Default::default() };
+        let config = HdfsConfig {
+            replication: 1,
+            ..Default::default()
+        };
         let mut h = Hdfs::new(4, config, 9);
         h.create("/alive", 64 << 20, NodeId(1)).unwrap();
         h.create("/lost", 192 << 20, NodeId(2)).unwrap();
@@ -584,7 +592,10 @@ mod tests {
 
     #[test]
     fn locality_cache_invalidates_on_mutation() {
-        let config = HdfsConfig { replication: 1, ..Default::default() };
+        let config = HdfsConfig {
+            replication: 1,
+            ..Default::default()
+        };
         let mut h = Hdfs::new(3, config, 5);
         h.create("/a", 10 << 20, NodeId(0)).unwrap();
         let paths = vec!["/a".to_string(), "/b".to_string()];

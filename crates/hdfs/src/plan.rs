@@ -80,9 +80,18 @@ mod tests {
             path: "/x".into(),
             reader: Some(NodeId(0)),
             segments: vec![
-                ReadSegment { source: TransferSource::Local, bytes: 100 },
-                ReadSegment { source: TransferSource::Remote(NodeId(1)), bytes: 50 },
-                ReadSegment { source: TransferSource::Remote(NodeId(2)), bytes: 25 },
+                ReadSegment {
+                    source: TransferSource::Local,
+                    bytes: 100,
+                },
+                ReadSegment {
+                    source: TransferSource::Remote(NodeId(1)),
+                    bytes: 50,
+                },
+                ReadSegment {
+                    source: TransferSource::Remote(NodeId(2)),
+                    bytes: 25,
+                },
             ],
         };
         assert_eq!(plan.total_bytes(), 175);

@@ -8,7 +8,10 @@ pub enum Expr {
     Var(String),
     List(Vec<Expr>),
     /// Application of a builtin, a `deftask`, or a `defun`.
-    Call { name: String, args: Vec<Expr> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
     If {
         cond: Box<Expr>,
         then: Box<Expr>,
@@ -73,7 +76,10 @@ pub struct FunDef {
 pub enum Item {
     Deftask(TaskDef),
     Defun(FunDef),
-    Let { name: String, value: Expr },
+    Let {
+        name: String,
+        value: Expr,
+    },
     /// The workflow's result expression. At most one; defaults to the last
     /// `let` binding when omitted.
     Target(Expr),

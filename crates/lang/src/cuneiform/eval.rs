@@ -52,7 +52,11 @@ impl Value {
             Value::Num(n) => format!("{n}"),
             Value::Str(s) => s.clone(),
             Value::File { path, .. } => path.clone(),
-            Value::List(items) => items.iter().map(Value::render).collect::<Vec<_>>().join(","),
+            Value::List(items) => items
+                .iter()
+                .map(Value::render)
+                .collect::<Vec<_>>()
+                .join(","),
         }
     }
 
@@ -261,7 +265,11 @@ impl CuneiformWorkflow {
                 .find(|(k, _)| k == name)
                 .map(|(_, v)| v.clone())
                 .ok_or_else(|| self.error(format!("unbound variable '{name}'"))),
-            Expr::If { cond, then, otherwise } => {
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let c = self.eval(cond, env)?;
                 let c = c.truthy().map_err(|e| self.error(e))?;
                 if c {
@@ -319,8 +327,7 @@ impl CuneiformWorkflow {
                      recursion needs a data-dependent val() guard"
                 )));
             }
-            let inner: Vec<(String, Value)> =
-                fun.params.iter().cloned().zip(values).collect();
+            let inner: Vec<(String, Value)> = fun.params.iter().cloned().zip(values).collect();
             let result = self.eval(&fun.body, &inner);
             self.depth -= 1;
             return result;
@@ -335,7 +342,10 @@ impl CuneiformWorkflow {
     fn builtin(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, Stop> {
         let arity = |n: usize| -> Result<(), Stop> {
             if args.len() != n {
-                Err(self.error(format!("'{name}' expects {n} argument(s), got {}", args.len())))
+                Err(self.error(format!(
+                    "'{name}' expects {n} argument(s), got {}",
+                    args.len()
+                )))
             } else {
                 Ok(())
             }
@@ -404,7 +414,9 @@ impl CuneiformWorkflow {
                         Ok(Some(Value::List(out)))
                     }
                     (Value::Str(a), Value::Str(b)) => Ok(Some(Value::Str(format!("{a}{b}")))),
-                    other => Err(self.error(format!("'concat' expects two lists or strings, got {other:?}"))),
+                    other => Err(self.error(format!(
+                        "'concat' expects two lists or strings, got {other:?}"
+                    ))),
                 }
             }
             "insize" => {
@@ -415,16 +427,26 @@ impl CuneiformWorkflow {
                 arity(2)?;
                 let path = match &args[0] {
                     Value::Str(s) => s.clone(),
-                    other => return Err(self.error(format!("'file' expects a path string, got {other:?}"))),
+                    other => {
+                        return Err(
+                            self.error(format!("'file' expects a path string, got {other:?}"))
+                        )
+                    }
                 };
                 let size = args[1].num().map_err(|e| self.error(e))? as u64;
                 self.required.insert(path.clone());
-                Ok(Some(Value::File { path, size, producer: None }))
+                Ok(Some(Value::File {
+                    path,
+                    size,
+                    producer: None,
+                }))
             }
             "val" => {
                 arity(1)?;
                 match &args[0] {
-                    Value::File { producer: Some(id), .. } => {
+                    Value::File {
+                        producer: Some(id), ..
+                    } => {
                         let key = self
                             .by_id
                             .get(id)
@@ -436,10 +458,16 @@ impl CuneiformWorkflow {
                             Err(Stop::Blocked)
                         }
                     }
-                    Value::File { producer: None, path, .. } => Err(self.error(format!(
+                    Value::File {
+                        producer: None,
+                        path,
+                        ..
+                    } => Err(self.error(format!(
                         "'val' on workflow input '{path}' (no producing task)"
                     ))),
-                    other => Err(self.error(format!("'val' expects a produced file, got {other:?}"))),
+                    other => {
+                        Err(self.error(format!("'val' expects a produced file, got {other:?}")))
+                    }
                 }
             }
             _ => Ok(None),
@@ -592,7 +620,11 @@ impl CuneiformWorkflow {
 
         self.memo.insert(
             key.clone(),
-            TaskState { result: result.clone(), exit, done: false },
+            TaskState {
+                result: result.clone(),
+                exit,
+                done: false,
+            },
         );
         self.by_id.insert(id, key);
         self.specs.insert(id, spec.clone());
@@ -627,7 +659,11 @@ impl CuneiformWorkflow {
                     ))),
                 }
             }
-            Expr::If { cond, then, otherwise } => {
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let c = self.eval_pure(cond, penv, key)?;
                 if c.truthy().map_err(|e| self.error(e))? {
                     self.eval_pure(then, penv, key)

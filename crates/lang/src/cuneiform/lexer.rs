@@ -49,35 +49,59 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                 }
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             b'[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    line,
+                });
                 i += 1;
             }
             b']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    line,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             b':' => {
-                tokens.push(Token { kind: TokenKind::Colon, line });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
                 i += 1;
             }
             b';' => {
-                tokens.push(Token { kind: TokenKind::Semi, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Equals, line });
+                tokens.push(Token {
+                    kind: TokenKind::Equals,
+                    line,
+                });
                 i += 1;
             }
             b'"' => {
@@ -108,9 +132,14 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
             }
-            c if c.is_ascii_digit() || (c == b'-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
+            c if c.is_ascii_digit()
+                || (c == b'-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) =>
+            {
                 let start = i;
                 i += 1;
                 while i < bytes.len()
@@ -127,24 +156,36 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                 let n: f64 = text
                     .parse()
                     .map_err(|_| err(line, format!("invalid number '{text}'")))?;
-                tokens.push(Token { kind: TokenKind::Num(n), line });
+                tokens.push(Token {
+                    kind: TokenKind::Num(n),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
-                let text = std::str::from_utf8(&bytes[start..i]).expect("ascii").to_string();
-                tokens.push(Token { kind: TokenKind::Ident(text), line });
+                let text = std::str::from_utf8(&bytes[start..i])
+                    .expect("ascii")
+                    .to_string();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line,
+                });
             }
             other => {
-                return Err(err(line, format!("unexpected character '{}'", other as char)));
+                return Err(err(
+                    line,
+                    format!("unexpected character '{}'", other as char),
+                ));
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(tokens)
 }
 

@@ -134,7 +134,11 @@ impl Parser {
             self.expect(&TokenKind::LParen, "'('")?;
             let template = match self.bump() {
                 TokenKind::Str(s) => s,
-                other => return Err(self.err(format!("expected output template string, found {other:?}"))),
+                other => {
+                    return Err(
+                        self.err(format!("expected output template string, found {other:?}"))
+                    )
+                }
             };
             self.expect(&TokenKind::Comma, "','")?;
             let size = self.expr()?;
@@ -157,7 +161,10 @@ impl Parser {
                     self.bump();
                     let name = self.ident("aggregate parameter")?;
                     self.expect(&TokenKind::RBracket, "']'")?;
-                    params.push(Param { name, aggregate: true });
+                    params.push(Param {
+                        name,
+                        aggregate: true,
+                    });
                 }
                 _ => break,
             }
@@ -346,8 +353,10 @@ mod tests {
     fn parse_let_list_and_call() {
         let p = parse_program(r#"let xs = [f("a"), f("b")]; target g(xs, 3);"#).unwrap();
         assert_eq!(p.items.len(), 2);
-        assert!(matches!(&p.items[1], Item::Target(Expr::Call { name, args })
-            if name == "g" && args.len() == 2));
+        assert!(
+            matches!(&p.items[1], Item::Target(Expr::Call { name, args })
+            if name == "g" && args.len() == 2)
+        );
     }
 
     #[test]

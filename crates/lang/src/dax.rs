@@ -32,8 +32,8 @@ use crate::ir::{LangError, OutputSpec, StaticWorkflow, TaskCost, TaskId, TaskSpe
 
 /// Parses a DAX document into a static workflow.
 pub fn parse_dax(src: &str) -> Result<StaticWorkflow, LangError> {
-    let root = XmlElement::parse(src)
-        .map_err(|e| LangError::new("dax", format!("malformed XML: {e}")))?;
+    let root =
+        XmlElement::parse(src).map_err(|e| LangError::new("dax", format!("malformed XML: {e}")))?;
     if local_name(&root.name) != "adag" {
         return Err(LangError::new(
             "dax",
@@ -102,9 +102,9 @@ pub fn parse_dax(src: &str) -> Result<StaticWorkflow, LangError> {
         let child_label = child
             .require_attr("ref")
             .map_err(|e| LangError::new("dax", e.message))?;
-        let &child_idx = id_by_label
-            .get(child_label)
-            .ok_or_else(|| LangError::new("dax", format!("<child ref=\"{child_label}\"> unknown")))?;
+        let &child_idx = id_by_label.get(child_label).ok_or_else(|| {
+            LangError::new("dax", format!("<child ref=\"{child_label}\"> unknown"))
+        })?;
         for parent in child.children_named("parent") {
             let parent_label = parent
                 .require_attr("ref")
@@ -125,7 +125,10 @@ pub fn parse_dax(src: &str) -> Result<StaticWorkflow, LangError> {
                 .any(|o| tasks[child_idx].inputs.contains(&o.path));
             if !covered {
                 let ctl = format!("/.ctl/{parent_label}__{child_label}");
-                tasks[parent_idx].outputs.push(OutputSpec { path: ctl.clone(), size: 0 });
+                tasks[parent_idx].outputs.push(OutputSpec {
+                    path: ctl.clone(),
+                    size: 0,
+                });
                 tasks[child_idx].inputs.push(ctl);
             }
         }
@@ -142,7 +145,10 @@ fn parse_attr(el: &XmlElement, name: &str, default: f64) -> Result<f64, LangErro
         Some(text) => text.parse::<f64>().map_err(|_| {
             LangError::new(
                 "dax",
-                format!("attribute {name}=\"{text}\" on <{}> is not a number", el.name),
+                format!(
+                    "attribute {name}=\"{text}\" on <{}> is not a number",
+                    el.name
+                ),
             )
         }),
     }
@@ -222,7 +228,10 @@ mod tests {
     #[test]
     fn rejects_bad_documents() {
         assert!(parse_dax("<dag/>").is_err());
-        assert!(parse_dax("<adag><job name=\"x\"/></adag>").is_err(), "missing id");
+        assert!(
+            parse_dax("<adag><job name=\"x\"/></adag>").is_err(),
+            "missing id"
+        );
         assert!(parse_dax("<adag><job id=\"a\" name=\"x\" runtime=\"soon\"/></adag>").is_err());
         assert!(parse_dax(
             r#"<adag><job id="a" name="x"><uses file="f" link="sideways"/></job></adag>"#
@@ -230,10 +239,7 @@ mod tests {
         .is_err());
         assert!(parse_dax(r#"<adag><child ref="nope"/></adag>"#).is_err());
         // Duplicate job ids.
-        assert!(parse_dax(
-            r#"<adag><job id="a" name="x"/><job id="a" name="y"/></adag>"#
-        )
-        .is_err());
+        assert!(parse_dax(r#"<adag><job id="a" name="x"/><job id="a" name="y"/></adag>"#).is_err());
     }
 
     #[test]

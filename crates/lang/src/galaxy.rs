@@ -219,21 +219,29 @@ pub fn parse_galaxy(
                             .and_then(Json::as_str)
                             .unwrap_or("output")
                             .to_string();
-                        let ext = o.get("type").and_then(Json::as_str).unwrap_or("dat").to_string();
+                        let ext = o
+                            .get("type")
+                            .and_then(Json::as_str)
+                            .unwrap_or("dat")
+                            .to_string();
                         (oname, ext)
                     })
                     .collect()
             })
             .unwrap_or_else(|| vec![("output".to_string(), "dat".to_string())]);
-        let per_output = ((total_in as f64 * profile.output_factor)
-            / out_decls.len().max(1) as f64)
+        let per_output = ((total_in as f64 * profile.output_factor) / out_decls.len().max(1) as f64)
             .max(1.0) as u64;
 
         let mut outputs = Vec::new();
-        let mut info = StepInfo { outputs: HashMap::new() };
+        let mut info = StepInfo {
+            outputs: HashMap::new(),
+        };
         for (oname, ext) in &out_decls {
             let path = format!("/galaxy/{name}/step{id}_{oname}.{ext}");
-            outputs.push(OutputSpec { path: path.clone(), size: per_output });
+            outputs.push(OutputSpec {
+                path: path.clone(),
+                size: per_output,
+            });
             info.outputs.insert(oname.clone(), (path, per_output));
         }
         produced.insert(id, info);
@@ -289,8 +297,20 @@ mod tests {
 
     fn bindings() -> HashMap<String, BoundInput> {
         let mut m = HashMap::new();
-        m.insert("reads".into(), BoundInput { path: "/in/reads.fq".into(), size: 1000 });
-        m.insert("genome".into(), BoundInput { path: "/in/genome.fa".into(), size: 5000 });
+        m.insert(
+            "reads".into(),
+            BoundInput {
+                path: "/in/reads.fq".into(),
+                size: 1000,
+            },
+        );
+        m.insert(
+            "genome".into(),
+            BoundInput {
+                path: "/in/genome.fa".into(),
+                size: 5000,
+            },
+        );
         m
     }
 
@@ -315,7 +335,10 @@ mod tests {
         let tophat = &wf.tasks[0];
         assert_eq!(tophat.name, "tophat2");
         assert_eq!(tophat.inputs.len(), 2);
-        assert!((tophat.cost.cpu_seconds - 160.0).abs() < 1e-9, "100 + 0.01*6000");
+        assert!(
+            (tophat.cost.cpu_seconds - 160.0).abs() < 1e-9,
+            "100 + 0.01*6000"
+        );
         assert_eq!(tophat.cost.threads, 8);
         assert_eq!(tophat.outputs[0].size, 3000, "0.5 * 6000 bytes");
 
@@ -343,9 +366,17 @@ mod tests {
     #[test]
     fn profile_substring_matching() {
         let mut profiles = ToolProfiles::default();
-        profiles.insert("bowtie2", ToolProfile { threads: 16, ..ToolProfile::default() });
+        profiles.insert(
+            "bowtie2",
+            ToolProfile {
+                threads: 16,
+                ..ToolProfile::default()
+            },
+        );
         assert_eq!(
-            profiles.lookup("toolshed.g2.bx.psu.edu/repos/devteam/bowtie2/bowtie2/2.2.6").threads,
+            profiles
+                .lookup("toolshed.g2.bx.psu.edu/repos/devteam/bowtie2/bowtie2/2.2.6")
+                .threads,
             16
         );
         assert_eq!(profiles.lookup("something-else").threads, 1);

@@ -46,7 +46,12 @@ pub struct TaskCost {
 
 impl TaskCost {
     pub fn new(cpu_seconds: f64, threads: u32, memory_mb: u64) -> TaskCost {
-        TaskCost { cpu_seconds, threads, memory_mb, scratch_bytes: 0 }
+        TaskCost {
+            cpu_seconds,
+            threads,
+            memory_mb,
+            scratch_bytes: 0,
+        }
     }
 
     /// Adds working-directory I/O to the footprint.
@@ -58,7 +63,12 @@ impl TaskCost {
 
 impl Default for TaskCost {
     fn default() -> TaskCost {
-        TaskCost { cpu_seconds: 1.0, threads: 1, memory_mb: 512, scratch_bytes: 0 }
+        TaskCost {
+            cpu_seconds: 1.0,
+            threads: 1,
+            memory_mb: 512,
+            scratch_bytes: 0,
+        }
     }
 }
 
@@ -94,7 +104,10 @@ pub struct LangError {
 
 impl LangError {
     pub fn new(language: &'static str, message: impl Into<String>) -> LangError {
-        LangError { language, message: message.into() }
+        LangError {
+            language,
+            message: message.into(),
+        }
     }
 }
 
@@ -234,13 +247,19 @@ impl StaticWorkflow {
         let mut ids = std::collections::HashSet::new();
         for t in &self.tasks {
             if !ids.insert(t.id) {
-                return Err(LangError::new(self.language, format!("duplicate task id {:?}", t.id)));
+                return Err(LangError::new(
+                    self.language,
+                    format!("duplicate task id {:?}", t.id),
+                ));
             }
             for o in &t.outputs {
                 if let Some(prev) = producers.insert(o.path.as_str(), t.id) {
                     return Err(LangError::new(
                         self.language,
-                        format!("file '{}' produced by both {:?} and {:?}", o.path, prev, t.id),
+                        format!(
+                            "file '{}' produced by both {:?} and {:?}",
+                            o.path, prev, t.id
+                        ),
                     ));
                 }
             }
@@ -285,7 +304,10 @@ impl StaticWorkflow {
             }
         }
         if seen != self.tasks.len() {
-            return Err(LangError::new(self.language, "workflow graph contains a cycle"));
+            return Err(LangError::new(
+                self.language,
+                "workflow graph contains a cycle",
+            ));
         }
         Ok(())
     }
@@ -293,8 +315,9 @@ impl StaticWorkflow {
 
 /// Tiny stable string hash for DOT node names.
 fn fxhash(s: &str) -> u64 {
-    s.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3))
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
 }
 
 impl WorkflowSource for StaticWorkflow {
@@ -343,7 +366,10 @@ mod tests {
             inputs: inputs.iter().map(|s| s.to_string()).collect(),
             outputs: outputs
                 .iter()
-                .map(|s| OutputSpec { path: s.to_string(), size: 100 })
+                .map(|s| OutputSpec {
+                    path: s.to_string(),
+                    size: 100,
+                })
                 .collect(),
             cost: TaskCost::default(),
         }
@@ -359,7 +385,10 @@ mod tests {
                 task(1, "b", &["/mid", "/in2"], &["/out"]),
             ],
         );
-        assert_eq!(wf.external_inputs(), vec!["/in1".to_string(), "/in2".to_string()]);
+        assert_eq!(
+            wf.external_inputs(),
+            vec!["/in1".to_string(), "/in2".to_string()]
+        );
     }
 
     #[test]
@@ -412,7 +441,10 @@ mod tests {
         assert!(!wf.is_complete());
         let tasks = wf.initial_tasks().unwrap();
         assert_eq!(tasks.len(), 1);
-        assert!(wf.is_complete(), "static workflows are fully revealed by parsing");
+        assert!(
+            wf.is_complete(),
+            "static workflows are fully revealed by parsing"
+        );
         assert!(wf.on_task_completed(TaskId(0)).unwrap().is_empty());
         assert_eq!(wf.required_inputs(), vec!["/in".to_string()]);
     }
@@ -433,7 +465,10 @@ mod dot_tests {
                     name: "align".into(),
                     command: "align".into(),
                     inputs: vec!["/in/reads.fq".into()],
-                    outputs: vec![OutputSpec { path: "/w/aln.bam".into(), size: 1 }],
+                    outputs: vec![OutputSpec {
+                        path: "/w/aln.bam".into(),
+                        size: 1,
+                    }],
                     cost: TaskCost::default(),
                 },
                 TaskSpec {
@@ -441,7 +476,10 @@ mod dot_tests {
                     name: "call".into(),
                     command: "call".into(),
                     inputs: vec!["/w/aln.bam".into()],
-                    outputs: vec![OutputSpec { path: "/out/vars.vcf".into(), size: 1 }],
+                    outputs: vec![OutputSpec {
+                        path: "/out/vars.vcf".into(),
+                        size: 1,
+                    }],
                     cost: TaskCost::default(),
                 },
             ],

@@ -28,6 +28,4 @@ pub mod galaxy;
 pub mod ir;
 pub mod trace;
 
-pub use ir::{
-    LangError, OutputSpec, StaticWorkflow, TaskCost, TaskId, TaskSpec, WorkflowSource,
-};
+pub use ir::{LangError, OutputSpec, StaticWorkflow, TaskCost, TaskId, TaskSpec, WorkflowSource};

@@ -121,7 +121,13 @@ impl TraceEvent {
             .get("type")
             .and_then(Json::as_str)
             .ok_or_else(|| err("event without 'type'"))?;
-        let str_field = |k: &str| value.get(k).and_then(Json::as_str).unwrap_or("").to_string();
+        let str_field = |k: &str| {
+            value
+                .get(k)
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string()
+        };
         let num_field = |k: &str| value.get(k).and_then(Json::as_f64).unwrap_or(0.0);
         match ty {
             "workflow" => Ok(TraceEvent::Workflow(WorkflowEvent {
@@ -333,7 +339,10 @@ mod tests {
         assert!(parse_trace("not json").is_err());
         assert!(parse_trace("{\"type\":\"mystery\"}").is_err());
         assert!(parse_trace("").is_err(), "no task events");
-        assert!(parse_trace_events("{\"type\":\"task\"}").is_err(), "task without id");
+        assert!(
+            parse_trace_events("{\"type\":\"task\"}").is_err(),
+            "task without id"
+        );
     }
 
     #[test]

@@ -134,7 +134,14 @@ fn chained_trace_replays_with_same_dependencies() {
             id: i,
             name: format!("stage{i}"),
             command: format!("tool{i}"),
-            inputs: vec![(if i == 0 { "/input".into() } else { format!("/mid{}", i - 1) }, 10)],
+            inputs: vec![(
+                if i == 0 {
+                    "/input".into()
+                } else {
+                    format!("/mid{}", i - 1)
+                },
+                10,
+            )],
             outputs: vec![(format!("/mid{i}"), 10)],
             cpu_seconds: 1.0,
             threads: 1,

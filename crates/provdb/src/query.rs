@@ -28,7 +28,9 @@ pub struct Filter {
 
 impl Filter {
     pub fn new() -> Filter {
-        Filter { clauses: Vec::new() }
+        Filter {
+            clauses: Vec::new(),
+        }
     }
 
     pub fn and(mut self, field: &str, op: Op, value: impl Into<Json>) -> Filter {
@@ -82,7 +84,10 @@ pub struct Query {
 
 impl Query {
     pub(crate) fn new(docs: Vec<Json>) -> Query {
-        Query { docs, filter: Filter::new() }
+        Query {
+            docs,
+            filter: Filter::new(),
+        }
     }
 
     pub fn filter(mut self, field: &str, op: Op, value: impl Into<Json>) -> Query {
@@ -239,9 +244,7 @@ mod tests {
     #[test]
     fn group_aggregate_by_node() {
         let c = seeded();
-        let groups = c
-            .query()
-            .group_aggregate("node", "runtime", Aggregate::Avg);
+        let groups = c.query().group_aggregate("node", "runtime", Aggregate::Avg);
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0].0, "n0");
         assert!((groups[0].1 - 9.0).abs() < 1e-9); // (10+12+5)/3
@@ -253,7 +256,10 @@ mod tests {
         let c = Collection::default();
         c.insert(Json::object().with("x", 1u64));
         assert!(c.query().filter("y", Op::Eq, 1u64).collect().is_empty());
-        assert!(c.query().filter("x", Op::Lt, "str").collect().is_empty(), "type mismatch");
+        assert!(
+            c.query().filter("x", Op::Lt, "str").collect().is_empty(),
+            "type mismatch"
+        );
     }
 
     #[test]

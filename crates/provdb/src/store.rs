@@ -81,7 +81,12 @@ impl Collection {
     }
 
     pub fn get(&self, id: DocId) -> Option<Json> {
-        self.inner.read().expect("provdb lock poisoned").docs.get(id.0 as usize).cloned()
+        self.inner
+            .read()
+            .expect("provdb lock poisoned")
+            .docs
+            .get(id.0 as usize)
+            .cloned()
     }
 
     /// Exact-match lookup, served from the index when one exists.
@@ -112,7 +117,11 @@ impl Collection {
 
     /// A point-in-time copy of all documents.
     pub fn snapshot(&self) -> Vec<Json> {
-        self.inner.read().expect("provdb lock poisoned").docs.clone()
+        self.inner
+            .read()
+            .expect("provdb lock poisoned")
+            .docs
+            .clone()
     }
 
     /// Serializes to JSON lines.
@@ -168,7 +177,13 @@ impl ProvDb {
     }
 
     pub fn collection_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.collections.read().expect("provdb lock poisoned").keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .collections
+            .read()
+            .expect("provdb lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
         names.sort();
         names
     }
@@ -222,7 +237,10 @@ mod tests {
         let c = Collection::default();
         let id = c.insert(doc("align", "n0", 12.5));
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(id).unwrap().get("task").unwrap().as_str(), Some("align"));
+        assert_eq!(
+            c.get(id).unwrap().get("task").unwrap().as_str(),
+            Some("align")
+        );
         assert!(c.get(DocId(99)).is_none());
     }
 
@@ -279,7 +297,10 @@ mod tests {
         let b = db.collection("tasks");
         assert_eq!(b.len(), 1, "same underlying collection");
         db.collection("files");
-        assert_eq!(db.collection_names(), vec!["files".to_string(), "tasks".to_string()]);
+        assert_eq!(
+            db.collection_names(),
+            vec!["files".to_string(), "tasks".to_string()]
+        );
     }
 
     #[test]
@@ -311,9 +332,12 @@ mod dump_tests {
     #[test]
     fn export_import_all_round_trips_every_collection() {
         let db = ProvDb::new();
-        db.collection("tasks").insert(Json::object().with("name", "a").with("t", 1u64));
-        db.collection("tasks").insert(Json::object().with("name", "b").with("t", 2u64));
-        db.collection("files").insert(Json::object().with("path", "/x"));
+        db.collection("tasks")
+            .insert(Json::object().with("name", "a").with("t", 1u64));
+        db.collection("tasks")
+            .insert(Json::object().with("name", "b").with("t", 2u64));
+        db.collection("files")
+            .insert(Json::object().with("path", "/x"));
         let dump = db.export_all();
         assert!(dump.contains("#collection files"));
         assert!(dump.contains("#collection tasks"));

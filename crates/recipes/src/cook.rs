@@ -39,7 +39,10 @@ fn node_spec(name: &str) -> Result<NodeSpec, RecipeError> {
 /// the paper's Chef recipes: provision, install, stage data, register the
 /// workflow — leaving just "run it".
 pub fn cook(recipe: &Recipe) -> Result<CookedExperiment, RecipeError> {
-    let boxed = |e: hiway_lang::LangError| RecipeError { line: 0, message: e.to_string() };
+    let boxed = |e: hiway_lang::LangError| RecipeError {
+        line: 0,
+        message: e.to_string(),
+    };
 
     // 1. Infrastructure.
     let mut deployment = match &recipe.cluster {
@@ -105,18 +108,27 @@ pub fn cook(recipe: &Recipe) -> Result<CookedExperiment, RecipeError> {
             )
         }
         WorkflowKind::Montage { images } => {
-            let params = MontageParams { images: *images, ..MontageParams::default() };
+            let params = MontageParams {
+                images: *images,
+                ..MontageParams::default()
+            };
             for (path, size) in params.input_files() {
                 deployment.runtime.cluster.prestage(&path, size);
             }
             Box::new(hiway_lang::dax::parse_dax(&params.dax_source()).map_err(boxed)?)
         }
         WorkflowKind::Kmeans { partitions } => {
-            let params = KmeansParams { partitions: *partitions, ..KmeansParams::default() };
+            let params = KmeansParams {
+                partitions: *partitions,
+                ..KmeansParams::default()
+            };
             for (path, size) in params.input_files() {
                 deployment.runtime.cluster.prestage(&path, size);
             }
-            deployment.runtime.cluster.prestage("/kmeans/cents_init.dat", 65_536);
+            deployment
+                .runtime
+                .cluster
+                .prestage("/kmeans/cents_init.dat", 65_536);
             Box::new(
                 CuneiformWorkflow::parse("kmeans", &params.cuneiform_source(), recipe.seed)
                     .map_err(boxed)?,
@@ -207,9 +219,7 @@ mod tests {
             .external_file("s3://1000genomes/s0_f0.fq")
             .is_some());
         // S3-streamed inputs require an EC2 cluster.
-        let err = match cook_str(
-            "cluster local nodes=2\nworkflow snv profile=table2 samples=1\n",
-        ) {
+        let err = match cook_str("cluster local nodes=2\nworkflow snv profile=table2 samples=1\n") {
             Err(e) => e,
             Ok(_) => panic!("local cluster must not cook an S3-streamed workflow"),
         };

@@ -63,7 +63,10 @@ pub struct Recipe {
 }
 
 fn err(line: usize, message: impl Into<String>) -> RecipeError {
-    RecipeError { line, message: message.into() }
+    RecipeError {
+        line,
+        message: message.into(),
+    }
 }
 
 struct Directive<'a> {
@@ -96,7 +99,10 @@ impl<'a> Directive<'a> {
 pub fn parse_recipe(text: &str) -> Result<Recipe, RecipeError> {
     let mut cluster = None;
     let mut scheduler = SchedulerPolicy::DataAware;
-    let mut container = ContainerKind::Fixed { vcores: 1, memory_mb: 1024 };
+    let mut container = ContainerKind::Fixed {
+        vcores: 1,
+        memory_mb: 1024,
+    };
     let mut workflow = None;
     let mut extra_stage = Vec::new();
     let mut seed = 0u64;
@@ -117,11 +123,17 @@ pub fn parse_recipe(text: &str) -> Result<Recipe, RecipeError> {
                 None => words.push(token),
             }
         }
-        let d = Directive { line: line_no, words, kv };
+        let d = Directive {
+            line: line_no,
+            words,
+            kv,
+        };
         match d.words.first().copied() {
             Some("cluster") => {
                 cluster = Some(match d.words.get(1).copied() {
-                    Some("local") => ClusterKind::Local { nodes: d.get_usize("nodes", 24)? },
+                    Some("local") => ClusterKind::Local {
+                        nodes: d.get_usize("nodes", 24)?,
+                    },
                     Some("ec2") => ClusterKind::Ec2 {
                         workers: d.get_usize("workers", 1)?,
                         node: d.kv.get("node").unwrap_or(&"m3.large").to_string(),
@@ -137,9 +149,7 @@ pub fn parse_recipe(text: &str) -> Result<Recipe, RecipeError> {
                     Some("round-robin") => SchedulerPolicy::RoundRobin,
                     Some("heft") => SchedulerPolicy::Heft,
                     Some("adaptive") => SchedulerPolicy::Adaptive,
-                    other => {
-                        return Err(err(line_no, format!("unknown scheduler {other:?}")))
-                    }
+                    other => return Err(err(line_no, format!("unknown scheduler {other:?}"))),
                 };
             }
             Some("container") => {
@@ -200,7 +210,14 @@ pub fn parse_recipe(text: &str) -> Result<Recipe, RecipeError> {
             ));
         }
     }
-    Ok(Recipe { cluster, scheduler, container, workflow, extra_stage, seed })
+    Ok(Recipe {
+        cluster,
+        scheduler,
+        container,
+        workflow,
+        extra_stage,
+        seed,
+    })
 }
 
 #[cfg(test)]
@@ -218,11 +235,26 @@ mod tests {
              workflow snv profile=table2 samples=8\n",
         )
         .unwrap();
-        assert_eq!(r.cluster, ClusterKind::Ec2 { workers: 8, node: "m3.large".into() });
+        assert_eq!(
+            r.cluster,
+            ClusterKind::Ec2 {
+                workers: 8,
+                node: "m3.large".into()
+            }
+        );
         assert_eq!(r.scheduler, SchedulerPolicy::Fcfs);
         assert_eq!(r.container, ContainerKind::WholeNode);
-        assert_eq!(r.extra_stage, vec![("/ref/genome.fa".to_string(), 1_000_000)]);
-        assert_eq!(r.workflow, WorkflowKind::Snv { profile: "table2".into(), samples: 8 });
+        assert_eq!(
+            r.extra_stage,
+            vec![("/ref/genome.fa".to_string(), 1_000_000)]
+        );
+        assert_eq!(
+            r.workflow,
+            WorkflowKind::Snv {
+                profile: "table2".into(),
+                samples: 8
+            }
+        );
         assert_eq!(r.seed, 42);
     }
 
@@ -230,7 +262,13 @@ mod tests {
     fn defaults_are_sensible() {
         let r = parse_recipe("cluster local nodes=4\nworkflow montage\n").unwrap();
         assert_eq!(r.scheduler, SchedulerPolicy::DataAware);
-        assert_eq!(r.container, ContainerKind::Fixed { vcores: 1, memory_mb: 1024 });
+        assert_eq!(
+            r.container,
+            ContainerKind::Fixed {
+                vcores: 1,
+                memory_mb: 1024
+            }
+        );
         assert_eq!(r.workflow, WorkflowKind::Montage { images: 11 });
     }
 

@@ -157,7 +157,12 @@ pub fn io_flow_path(
             constraints: vec![disk_w(*node)],
             rate_cap: None,
         },
-        Activity::Flow { src, dst, src_disk, dst_disk } => {
+        Activity::Flow {
+            src,
+            dst,
+            src_disk,
+            dst_disk,
+        } => {
             let mut cs = Vec::with_capacity(5);
             let mut cap = None;
             let mut via_switch;
@@ -256,10 +261,18 @@ impl<T: Clone> Engine<T> {
         // nic_in], then the optional switch, then one per external service.
         let mut constraints = Vec::with_capacity(n * 4 + 1 + spec.externals.len());
         for node in &spec.nodes {
-            constraints.push(Constraint { capacity: node.disk_read_bps });
-            constraints.push(Constraint { capacity: node.disk_write_bps });
-            constraints.push(Constraint { capacity: node.nic_bps });
-            constraints.push(Constraint { capacity: node.nic_bps });
+            constraints.push(Constraint {
+                capacity: node.disk_read_bps,
+            });
+            constraints.push(Constraint {
+                capacity: node.disk_write_bps,
+            });
+            constraints.push(Constraint {
+                capacity: node.nic_bps,
+            });
+            constraints.push(Constraint {
+                capacity: node.nic_bps,
+            });
         }
         let switch_idx = constraints.len();
         constraints.push(Constraint {
@@ -267,7 +280,9 @@ impl<T: Clone> Engine<T> {
         });
         let ext_base = constraints.len();
         for ext in &spec.externals {
-            constraints.push(Constraint { capacity: ext.aggregate_bps });
+            constraints.push(Constraint {
+                capacity: ext.aggregate_bps,
+            });
         }
         Engine {
             spec,
@@ -322,7 +337,10 @@ impl<T: Clone> Engine<T> {
             slot.act = Some(act);
             s
         } else {
-            self.slab.push(Slot { stamp: 1, act: Some(act) });
+            self.slab.push(Slot {
+                stamp: 1,
+                act: Some(act),
+            });
             (self.slab.len() - 1) as u32
         }
     }
@@ -332,7 +350,10 @@ impl<T: Clone> Engine<T> {
     pub fn start(&mut self, kind: Activity, volume: f64, tag: T) -> ActivityId {
         assert!(volume >= 0.0, "negative activity volume");
         if let Activity::Compute { node, threads } = &kind {
-            assert!(*threads > 0.0, "compute must use at least a sliver of a core");
+            assert!(
+                *threads > 0.0,
+                "compute must use at least a sliver of a core"
+            );
             assert!(node.index() < self.spec.nodes.len(), "unknown node");
         }
         let id = self.next_id;
@@ -347,7 +368,13 @@ impl<T: Clone> Engine<T> {
                 None
             }
         };
-        let slot = self.alloc_slot(Act { id, kind, remaining, rate: 0.0, tag });
+        let slot = self.alloc_slot(Act {
+            id,
+            kind,
+            remaining,
+            rate: 0.0,
+            tag,
+        });
         self.id_to_slot.insert(id, slot);
         if remaining.is_finite() {
             // Ids are monotone, so a push keeps the list sorted.
@@ -411,7 +438,13 @@ impl<T: Clone> Engine<T> {
         let id = self.next_id;
         self.next_id += 1;
         let at = at.max(self.now);
-        self.timers.insert(id, Timer { tag, cancelled: false });
+        self.timers.insert(
+            id,
+            Timer {
+                tag,
+                cancelled: false,
+            },
+        );
         self.timer_heap.push(Reverse((at, id)));
         TimerId(id)
     }
@@ -547,7 +580,10 @@ impl<T: Clone> Engine<T> {
         let mut done = std::mem::take(&mut self.done_buf);
         done.clear();
         for &(id, slot) in &self.finite {
-            let a = self.slab[slot as usize].act.as_ref().expect("finite act exists");
+            let a = self.slab[slot as usize]
+                .act
+                .as_ref()
+                .expect("finite act exists");
             if is_complete(a.remaining, a.rate) {
                 done.push((id, slot));
             }
@@ -556,7 +592,10 @@ impl<T: Clone> Engine<T> {
             self.finite
                 .retain(|&(id, _)| done.binary_search_by_key(&id, |&(i, _)| i).is_err());
             for &(id, slot) in &done {
-                let act = self.slab[slot as usize].act.take().expect("collected above");
+                let act = self.slab[slot as usize]
+                    .act
+                    .take()
+                    .expect("collected above");
                 self.free.push(slot);
                 self.id_to_slot.remove(&id);
                 self.detach(id, &act.kind);
@@ -605,7 +644,10 @@ impl<T: Clone> Engine<T> {
         let dt = target - self.now;
         if dt > 0.0 {
             for &(_, slot) in &self.finite {
-                let act = self.slab[slot as usize].act.as_mut().expect("finite act exists");
+                let act = self.slab[slot as usize]
+                    .act
+                    .as_mut()
+                    .expect("finite act exists");
                 act.remaining -= act.rate * dt;
                 if act.remaining < 0.0 {
                     act.remaining = 0.0;
@@ -688,7 +730,12 @@ impl<T: Clone> Engine<T> {
                 match &act.kind {
                     Activity::DiskRead { node } => self.inst[node.index()][1] += rate,
                     Activity::DiskWrite { node } => self.inst[node.index()][2] += rate,
-                    Activity::Flow { src, dst, src_disk, dst_disk } => {
+                    Activity::Flow {
+                        src,
+                        dst,
+                        src_disk,
+                        dst_disk,
+                    } => {
                         if let Endpoint::Node(n) = src {
                             self.inst[n.index()][4] += rate;
                             if *src_disk {
@@ -741,7 +788,14 @@ mod tests {
     fn compute_runs_at_thread_count() {
         let mut e: Engine<u32> = Engine::new(one_node_cluster());
         // 2-core node, 2 threads, 10 CPU-seconds -> 5 wall seconds.
-        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 10.0, 7);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 2.0,
+            },
+            10.0,
+            7,
+        );
         let fired = e.step().expect("one completion");
         assert_eq!(fired.len(), 1);
         assert!(matches!(fired[0], Completion::Activity { tag: 7, .. }));
@@ -753,7 +807,14 @@ mod tests {
         let mut spec = one_node_cluster();
         spec.nodes[0].speed = 2.0;
         let mut e: Engine<u32> = Engine::new(spec);
-        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 10.0, 0);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 1.0,
+            },
+            10.0,
+            0,
+        );
         e.step().expect("completes");
         assert!((e.now().as_secs() - 5.0).abs() < 1e-6);
     }
@@ -762,8 +823,22 @@ mod tests {
     fn two_tasks_share_cores() {
         let mut e: Engine<u32> = Engine::new(one_node_cluster());
         // Both want both cores of the 2-core node; each gets 1 core.
-        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 10.0, 1);
-        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 10.0, 2);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 2.0,
+            },
+            10.0,
+            1,
+        );
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 2.0,
+            },
+            10.0,
+            2,
+        );
         let fired = e.step().expect("both at t=10");
         assert_eq!(fired.len(), 2);
         assert!((e.now().as_secs() - 10.0).abs() < 1e-6);
@@ -772,8 +847,22 @@ mod tests {
     #[test]
     fn short_task_completion_speeds_up_survivor() {
         let mut e: Engine<u32> = Engine::new(one_node_cluster());
-        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 4.0, 1);
-        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 12.0, 2);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 2.0,
+            },
+            4.0,
+            1,
+        );
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 2.0,
+            },
+            12.0,
+            2,
+        );
         // Shared phase: both at 1 core. Task 1 finishes at t=4 with task 2
         // at 8 remaining; then task 2 runs at 2 cores -> 4 more seconds.
         let f1 = e.step().unwrap();
@@ -860,9 +949,30 @@ mod tests {
         // One single-thread task + two infinite single-thread stress procs
         // on 2 cores: everyone is below the fair level (2/3), caps bind at
         // 2/3 each... cap is 1.0 > 2/3, so each gets 2/3 core.
-        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 2.0, 1);
-        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, f64::INFINITY, 8);
-        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, f64::INFINITY, 9);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 1.0,
+            },
+            2.0,
+            1,
+        );
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 1.0,
+            },
+            f64::INFINITY,
+            8,
+        );
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 1.0,
+            },
+            f64::INFINITY,
+            9,
+        );
         let fired = e.step().unwrap();
         assert_eq!(fired.len(), 1);
         assert!((e.now().as_secs() - 3.0).abs() < 1e-6, "now={}", e.now());
@@ -886,7 +996,14 @@ mod tests {
     #[test]
     fn cancel_activity_returns_tag() {
         let mut e: Engine<u32> = Engine::new(one_node_cluster());
-        let id = e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 100.0, 42);
+        let id = e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 1.0,
+            },
+            100.0,
+            42,
+        );
         assert_eq!(e.cancel(id), Some(42));
         assert_eq!(e.cancel(id), None);
         assert!(e.step().is_none());
@@ -895,7 +1012,14 @@ mod tests {
     #[test]
     fn usage_accounting_tracks_cpu() {
         let mut e: Engine<u32> = Engine::new(one_node_cluster());
-        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 10.0, 0);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 2.0,
+            },
+            10.0,
+            0,
+        );
         e.step().unwrap();
         let u = e.take_usage(NodeId(0));
         assert!((u.core_seconds - 10.0).abs() < 1e-6);
@@ -910,8 +1034,22 @@ mod tests {
         let mut e: Engine<u32> = Engine::new(one_node_cluster());
         // The long task's first prediction (t=20 at 1 core) goes stale
         // when the short task finishes and it doubles its rate.
-        e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 4.0, 1);
-        let _long = e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 16.0, 2);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 2.0,
+            },
+            4.0,
+            1,
+        );
+        let _long = e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 2.0,
+            },
+            16.0,
+            2,
+        );
         assert!((e.peek_next_time().unwrap().as_secs() - 4.0).abs() < 1e-9);
         e.step().unwrap();
         // Fresh prediction: 12 remaining at 2 cores -> t = 4 + 6 = 10.
@@ -926,7 +1064,14 @@ mod tests {
         // A disk read shares nothing with compute: starting and finishing
         // compute work must not perturb its completion time.
         e.start(Activity::DiskRead { node: NodeId(0) }, 440.0e6, 0);
-        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 1.0, 1);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 1.0,
+            },
+            1.0,
+            1,
+        );
         let f1 = e.step().unwrap();
         assert_eq!(f1.len(), 1, "compute finishes first");
         assert!((e.now().as_secs() - 1.0).abs() < 1e-6);
@@ -938,7 +1083,9 @@ mod tests {
     #[test]
     fn many_cancelled_timers_do_not_linger() {
         let mut e: Engine<u32> = Engine::new(one_node_cluster());
-        let ids: Vec<TimerId> = (0..100).map(|i| e.set_timer_after(1.0 + i as f64, i)).collect();
+        let ids: Vec<TimerId> = (0..100)
+            .map(|i| e.set_timer_after(1.0 + i as f64, i))
+            .collect();
         for id in &ids[1..] {
             e.cancel_timer(*id);
         }
@@ -956,10 +1103,24 @@ mod tests {
         // Create a prediction entry for a task, cancel it (freeing its
         // slot), then start a different task that reuses the slot. The
         // stale entry must not surface as the new task's completion.
-        let a = e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 1.0, 1);
+        let a = e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 1.0,
+            },
+            1.0,
+            1,
+        );
         assert!((e.peek_next_time().unwrap().as_secs() - 1.0).abs() < 1e-9);
         assert_eq!(e.cancel(a), Some(1));
-        e.start(Activity::Compute { node: NodeId(1), threads: 1.0 }, 50.0, 2);
+        e.start(
+            Activity::Compute {
+                node: NodeId(1),
+                threads: 1.0,
+            },
+            50.0,
+            2,
+        );
         assert!((e.peek_next_time().unwrap().as_secs() - 50.0).abs() < 1e-6);
         let fired = e.step().unwrap();
         assert_eq!(fired.len(), 1);

@@ -41,8 +41,16 @@ impl NodeUsage {
         self.disk_write_bytes += inst[2] * dt;
         self.net_in_bytes += inst[3] * dt;
         self.net_out_bytes += inst[4] * dt;
-        let util_r = if spec.disk_read_bps > 0.0 { inst[1] / spec.disk_read_bps } else { 0.0 };
-        let util_w = if spec.disk_write_bps > 0.0 { inst[2] / spec.disk_write_bps } else { 0.0 };
+        let util_r = if spec.disk_read_bps > 0.0 {
+            inst[1] / spec.disk_read_bps
+        } else {
+            0.0
+        };
+        let util_w = if spec.disk_write_bps > 0.0 {
+            inst[2] / spec.disk_write_bps
+        } else {
+            0.0
+        };
         self.io_util_seconds += util_r.max(util_w).min(1.0) * dt;
     }
 

@@ -217,7 +217,10 @@ mod tests {
     fn bottleneck_frees_capacity_elsewhere() {
         // Flow A uses links 0 and 1; flow B only link 0. Link 0 has 100,
         // link 1 has 30. A is capped at 30 by link 1; B then gets 70.
-        let cons = [Constraint { capacity: 100.0 }, Constraint { capacity: 30.0 }];
+        let cons = [
+            Constraint { capacity: 100.0 },
+            Constraint { capacity: 30.0 },
+        ];
         let rates = max_min_rates(&cons, &[flow(&[0, 1]), flow(&[0])]);
         assert!(close(rates[0], 30.0), "{rates:?}");
         assert!(close(rates[1], 70.0), "{rates:?}");

@@ -79,7 +79,10 @@ impl<T: Clone> ReferenceEngine<T> {
     pub fn start(&mut self, kind: Activity, volume: f64, tag: T) -> ActivityId {
         assert!(volume >= 0.0, "negative activity volume");
         if let Activity::Compute { node, threads } = &kind {
-            assert!(*threads > 0.0, "compute must use at least a sliver of a core");
+            assert!(
+                *threads > 0.0,
+                "compute must use at least a sliver of a core"
+            );
             assert!(node.index() < self.spec.nodes.len(), "unknown node");
         }
         let id = self.next_id;
@@ -258,10 +261,18 @@ impl<T: Clone> ReferenceEngine<T> {
         let nn = self.spec.nodes.len();
         let mut constraints = Vec::with_capacity(nn * 4 + 1 + self.spec.externals.len());
         for node in &self.spec.nodes {
-            constraints.push(Constraint { capacity: node.disk_read_bps });
-            constraints.push(Constraint { capacity: node.disk_write_bps });
-            constraints.push(Constraint { capacity: node.nic_bps });
-            constraints.push(Constraint { capacity: node.nic_bps });
+            constraints.push(Constraint {
+                capacity: node.disk_read_bps,
+            });
+            constraints.push(Constraint {
+                capacity: node.disk_write_bps,
+            });
+            constraints.push(Constraint {
+                capacity: node.nic_bps,
+            });
+            constraints.push(Constraint {
+                capacity: node.nic_bps,
+            });
         }
         let switch_idx = constraints.len();
         constraints.push(Constraint {
@@ -269,7 +280,9 @@ impl<T: Clone> ReferenceEngine<T> {
         });
         let ext_base = constraints.len();
         for ext in &self.spec.externals {
-            constraints.push(Constraint { capacity: ext.aggregate_bps });
+            constraints.push(Constraint {
+                capacity: ext.aggregate_bps,
+            });
         }
 
         let mut ids = Vec::new();
@@ -291,7 +304,12 @@ impl<T: Clone> ReferenceEngine<T> {
             match &act.kind {
                 Activity::DiskRead { node } => self.inst[node.index()][1] += rate,
                 Activity::DiskWrite { node } => self.inst[node.index()][2] += rate,
-                Activity::Flow { src, dst, src_disk, dst_disk } => {
+                Activity::Flow {
+                    src,
+                    dst,
+                    src_disk,
+                    dst_disk,
+                } => {
                     if let Endpoint::Node(n) = src {
                         self.inst[n.index()][4] += rate;
                         if *src_disk {

@@ -61,13 +61,27 @@ mod tests {
         let handles = cpu_stress(&mut e, NodeId(0), 2, 0);
         assert_eq!(handles.len(), 2);
         // 1-thread task vs 2 hogs on 2 cores: everyone at 2/3 core.
-        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 2.0, 1);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 1.0,
+            },
+            2.0,
+            1,
+        );
         e.step().unwrap();
         assert!((e.now().as_secs() - 3.0).abs() < 1e-6);
 
         // After stopping the stress the next task runs at full speed.
         stop_stress(&mut e, &handles);
-        e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 2.0, 2);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 1.0,
+            },
+            2.0,
+            2,
+        );
         let t0 = e.now();
         e.step().unwrap();
         assert!((e.now().since(t0) - 2.0).abs() < 1e-6);

@@ -1,8 +1,6 @@
 //! Edge-case tests for the simulation kernel beyond the in-module units.
 
-use hiway_sim::{
-    Activity, ClusterSpec, Endpoint, Engine, ExternalSpec, NodeId, NodeSpec, SimTime,
-};
+use hiway_sim::{Activity, ClusterSpec, Endpoint, Engine, ExternalSpec, NodeId, NodeSpec, SimTime};
 
 fn cluster(n: usize) -> ClusterSpec {
     ClusterSpec::homogeneous(n, "n", &NodeSpec::m3_large("p"))
@@ -121,8 +119,22 @@ fn external_aggregate_is_shared_across_flows() {
 fn cancelling_mid_flight_preserves_remaining_work_of_others() {
     let mut e: Engine<u8> = Engine::new(cluster(1));
     // Two equal compute tasks share 2 cores; cancel one at t=2.
-    let a = e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 8.0, 1);
-    e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 8.0, 2);
+    let a = e.start(
+        Activity::Compute {
+            node: NodeId(0),
+            threads: 2.0,
+        },
+        8.0,
+        1,
+    );
+    e.start(
+        Activity::Compute {
+            node: NodeId(0),
+            threads: 2.0,
+        },
+        8.0,
+        2,
+    );
     e.set_timer_after(2.0, 9);
     let fired = e.step().expect("timer first");
     assert_eq!(fired.len(), 1);
@@ -137,10 +149,27 @@ fn heterogeneous_speeds_scale_compute_only() {
     let mut spec = cluster(2);
     spec.nodes[1].speed = 0.5;
     let mut e: Engine<u8> = Engine::new(spec);
-    e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 10.0, 1);
-    e.start(Activity::Compute { node: NodeId(1), threads: 1.0 }, 10.0, 2);
+    e.start(
+        Activity::Compute {
+            node: NodeId(0),
+            threads: 1.0,
+        },
+        10.0,
+        1,
+    );
+    e.start(
+        Activity::Compute {
+            node: NodeId(1),
+            threads: 1.0,
+        },
+        10.0,
+        2,
+    );
     let first = e.step().expect("fast node first");
-    assert!(matches!(first[0], hiway_sim::Completion::Activity { tag: 1, .. }));
+    assert!(matches!(
+        first[0],
+        hiway_sim::Completion::Activity { tag: 1, .. }
+    ));
     assert!((e.now().as_secs() - 10.0).abs() < 1e-6);
     e.step().expect("slow node");
     assert!((e.now().as_secs() - 20.0).abs() < 1e-6);
@@ -171,10 +200,24 @@ fn timers_at_identical_instants_fire_together_in_creation_order() {
 #[test]
 fn usage_windows_partition_time_exactly() {
     let mut e: Engine<u8> = Engine::new(cluster(1));
-    e.start(Activity::Compute { node: NodeId(0), threads: 1.0 }, 4.0, 1);
+    e.start(
+        Activity::Compute {
+            node: NodeId(0),
+            threads: 1.0,
+        },
+        4.0,
+        1,
+    );
     e.step();
     let w1 = e.take_usage(NodeId(0));
-    e.start(Activity::Compute { node: NodeId(0), threads: 2.0 }, 4.0, 2);
+    e.start(
+        Activity::Compute {
+            node: NodeId(0),
+            threads: 2.0,
+        },
+        4.0,
+        2,
+    );
     e.step();
     let w2 = e.take_usage(NodeId(0));
     assert!((w1.elapsed - 4.0).abs() < 1e-9);

@@ -16,26 +16,66 @@ use hiway_sim::{
 
 #[derive(Clone, Debug)]
 enum Op {
-    Compute { node: u8, threads: f64, volume: f64 },
-    DiskRead { node: u8, volume: f64 },
-    DiskWrite { node: u8, volume: f64 },
-    Flow { src: u8, dst: u8, src_disk: bool, dst_disk: bool, volume: f64 },
-    External { node: u8, upload: bool, volume: f64 },
-    Background { node: u8, threads: f64 },
-    Timer { delay: f64 },
-    CancelAct { pick: u16 },
-    CancelTimer { pick: u16 },
+    Compute {
+        node: u8,
+        threads: f64,
+        volume: f64,
+    },
+    DiskRead {
+        node: u8,
+        volume: f64,
+    },
+    DiskWrite {
+        node: u8,
+        volume: f64,
+    },
+    Flow {
+        src: u8,
+        dst: u8,
+        src_disk: bool,
+        dst_disk: bool,
+        volume: f64,
+    },
+    External {
+        node: u8,
+        upload: bool,
+        volume: f64,
+    },
+    Background {
+        node: u8,
+        threads: f64,
+    },
+    Timer {
+        delay: f64,
+    },
+    CancelAct {
+        pick: u16,
+    },
+    CancelTimer {
+        pick: u16,
+    },
     Step,
-    Advance { dt: f64 },
+    Advance {
+        dt: f64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..8, 0.5f64..4.0, 0.05f64..30.0)
-            .prop_map(|(node, threads, volume)| Op::Compute { node, threads, volume }),
+        (0u8..8, 0.5f64..4.0, 0.05f64..30.0).prop_map(|(node, threads, volume)| Op::Compute {
+            node,
+            threads,
+            volume
+        }),
         (0u8..8, 1.0e6f64..5.0e8).prop_map(|(node, volume)| Op::DiskRead { node, volume }),
         (0u8..8, 1.0e6f64..5.0e8).prop_map(|(node, volume)| Op::DiskWrite { node, volume }),
-        (0u8..8, 0u8..8, any::<bool>(), any::<bool>(), 1.0e6f64..5.0e8)
+        (
+            0u8..8,
+            0u8..8,
+            any::<bool>(),
+            any::<bool>(),
+            1.0e6f64..5.0e8
+        )
             .prop_map(|(src, dst, src_disk, dst_disk, volume)| Op::Flow {
                 src,
                 dst,
@@ -43,8 +83,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
                 dst_disk,
                 volume
             }),
-        (0u8..8, any::<bool>(), 1.0e6f64..2.0e8)
-            .prop_map(|(node, upload, volume)| Op::External { node, upload, volume }),
+        (0u8..8, any::<bool>(), 1.0e6f64..2.0e8).prop_map(|(node, upload, volume)| Op::External {
+            node,
+            upload,
+            volume
+        }),
         (0u8..8, 0.5f64..2.0).prop_map(|(node, threads)| Op::Background { node, threads }),
         (0.0f64..20.0).prop_map(|delay| Op::Timer { delay }),
         (0u16..1000).prop_map(|pick| Op::CancelAct { pick }),
@@ -86,11 +129,11 @@ fn lockstep(
     let mut timer_ids: Vec<TimerId> = Vec::new();
     let mut tag = 0u32;
     let start = |inc: &mut Engine<u32>,
-                     refe: &mut ReferenceEngine<u32>,
-                     ids: &mut Vec<ActivityId>,
-                     kind: Activity,
-                     volume: f64,
-                     tag: &mut u32| {
+                 refe: &mut ReferenceEngine<u32>,
+                 ids: &mut Vec<ActivityId>,
+                 kind: Activity,
+                 volume: f64,
+                 tag: &mut u32| {
         let a = inc.start(kind.clone(), volume, *tag);
         let b = refe.start(kind, volume, *tag);
         assert_eq!(a, b, "activity ids diverged");
@@ -100,11 +143,18 @@ fn lockstep(
 
     for (i, op) in ops.iter().enumerate() {
         match op {
-            Op::Compute { node: n, threads, volume } => start(
+            Op::Compute {
+                node: n,
+                threads,
+                volume,
+            } => start(
                 &mut inc,
                 &mut refe,
                 &mut act_ids,
-                Activity::Compute { node: node(*n), threads: *threads },
+                Activity::Compute {
+                    node: node(*n),
+                    threads: *threads,
+                },
                 *volume,
                 &mut tag,
             ),
@@ -124,7 +174,13 @@ fn lockstep(
                 *volume,
                 &mut tag,
             ),
-            Op::Flow { src, dst, src_disk, dst_disk, volume } => start(
+            Op::Flow {
+                src,
+                dst,
+                src_disk,
+                dst_disk,
+                volume,
+            } => start(
                 &mut inc,
                 &mut refe,
                 &mut act_ids,
@@ -137,7 +193,11 @@ fn lockstep(
                 *volume,
                 &mut tag,
             ),
-            Op::External { node: n, upload, volume } => {
+            Op::External {
+                node: n,
+                upload,
+                volume,
+            } => {
                 let (src, dst) = if *upload {
                     (Endpoint::Node(node(*n)), Endpoint::External(s3))
                 } else {
@@ -147,7 +207,12 @@ fn lockstep(
                     &mut inc,
                     &mut refe,
                     &mut act_ids,
-                    Activity::Flow { src, dst, src_disk: !*upload, dst_disk: *upload },
+                    Activity::Flow {
+                        src,
+                        dst,
+                        src_disk: !*upload,
+                        dst_disk: *upload,
+                    },
                     *volume,
                     &mut tag,
                 )
@@ -156,7 +221,10 @@ fn lockstep(
                 &mut inc,
                 &mut refe,
                 &mut act_ids,
-                Activity::Compute { node: node(*n), threads: *threads },
+                Activity::Compute {
+                    node: node(*n),
+                    threads: *threads,
+                },
                 f64::INFINITY,
                 &mut tag,
             ),
@@ -211,7 +279,11 @@ fn lockstep(
             }
         }
         assert_same_time!(Some(inc.now()), Some(refe.now()), format!("op {i}"));
-        assert_same_time!(inc.peek_next_time(), refe.peek_next_time(), format!("peek after op {i}"));
+        assert_same_time!(
+            inc.peek_next_time(),
+            refe.peek_next_time(),
+            format!("peek after op {i}")
+        );
         prop_assert_eq!(inc.active_count(), refe.active_count());
         prop_assert_eq!(inc.debug_timer_count(), refe.debug_timer_count());
     }
@@ -234,7 +306,12 @@ fn lockstep(
             (Some(fa), Some(fb)) => {
                 let ka: Vec<_> = fa.iter().map(completion_key).collect();
                 let kb: Vec<_> = fb.iter().map(completion_key).collect();
-                prop_assert_eq!(ka, kb, "drain completion sequence diverged at round {}", round);
+                prop_assert_eq!(
+                    ka,
+                    kb,
+                    "drain completion sequence diverged at round {}",
+                    round
+                );
                 assert_same_time!(Some(inc.now()), Some(refe.now()), format!("drain {round}"));
             }
             _ => {

@@ -123,7 +123,10 @@ fn engine_conserves_cpu_work() {
                 let total_work: f64 = jobs.iter().map(|(w, _)| *w).sum();
                 for (i, (work, threads)) in jobs.iter().enumerate() {
                     engine.start(
-                        Activity::Compute { node: NodeId(0), threads: *threads as f64 },
+                        Activity::Compute {
+                            node: NodeId(0),
+                            threads: *threads as f64,
+                        },
                         *work,
                         i as u32,
                     );

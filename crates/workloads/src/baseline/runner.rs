@@ -8,12 +8,12 @@
 use std::collections::{HashMap, HashSet};
 
 use hiway_core::cluster::{Cluster, Tag};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use hiway_hdfs::exec as hdfs_exec;
 use hiway_lang::ir::WorkflowSource;
 use hiway_lang::{StaticWorkflow, TaskId, TaskSpec};
 use hiway_sim::{Activity, Completion, Endpoint, ExternalId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Where a baseline engine keeps workflow data.
 #[derive(Clone, Copy, Debug)]
@@ -130,7 +130,8 @@ pub fn run_dag(
     let mut rr = 0usize;
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let input_ok = |cluster: &Cluster, on_volume: &HashSet<String>, path: &str| match config.storage {
+    let input_ok = |cluster: &Cluster, on_volume: &HashSet<String>, path: &str| match config.storage
+    {
         Storage::HdfsLocal => cluster.input_available(path),
         Storage::SharedVolume(_) => {
             on_volume.contains(path) || cluster.external_file(path).is_some()
@@ -181,7 +182,11 @@ pub fn run_dag(
             run.node = node;
             cluster.engine.set_timer_after(
                 config.startup_secs,
-                Tag::ContainerStarted { wf: u32::MAX, task: tid },
+                Tag::ContainerStarted {
+                    wf: u32::MAX,
+                    task: tid,
+                    attempt: 0,
+                },
             );
         }
 
@@ -210,7 +215,12 @@ pub fn run_dag(
                     let node = run.node;
                     let mut acts = 0usize;
                     for path in &inputs {
-                        let stage_tag = Tag::StageIn { wf: u32::MAX, task, file: 0 };
+                        let stage_tag = Tag::StageIn {
+                            wf: u32::MAX,
+                            task,
+                            attempt: 0,
+                            file: 0,
+                        };
                         match config.storage {
                             Storage::SharedVolume(vol) => {
                                 let size = cluster
@@ -315,7 +325,11 @@ pub fn run_dag(
                             run.scratch_done = true;
                             let bytes = run.spec.cost.scratch_bytes as f64;
                             let node = run.node;
-                            let tag = Tag::Exec { wf: u32::MAX, task };
+                            let tag = Tag::Exec {
+                                wf: u32::MAX,
+                                task,
+                                attempt: 0,
+                            };
                             match config.storage {
                                 Storage::HdfsLocal => {
                                     cluster.engine.start(
@@ -323,7 +337,9 @@ pub fn run_dag(
                                         bytes,
                                         tag.clone(),
                                     );
-                                    cluster.engine.start(Activity::DiskRead { node }, bytes, tag);
+                                    cluster
+                                        .engine
+                                        .start(Activity::DiskRead { node }, bytes, tag);
                                 }
                                 Storage::SharedVolume(vol) => {
                                     cluster.engine.start(
@@ -359,7 +375,12 @@ pub fn run_dag(
                     let outputs = run.spec.outputs.clone();
                     let mut acts = 0usize;
                     for out in &outputs {
-                        let stage_tag = Tag::StageOut { wf: u32::MAX, task, file: 0 };
+                        let stage_tag = Tag::StageOut {
+                            wf: u32::MAX,
+                            task,
+                            attempt: 0,
+                            file: 0,
+                        };
                         match config.storage {
                             Storage::SharedVolume(vol) => {
                                 if out.size > 0 {
@@ -390,14 +411,30 @@ pub fn run_dag(
                     let run = tasks.get_mut(&task).expect("known");
                     run.remaining = acts;
                     if acts == 0 {
-                        complete_task(cluster, &mut tasks, task, &mut free_slots, &mut on_volume, &config, &mut placements);
+                        complete_task(
+                            cluster,
+                            &mut tasks,
+                            task,
+                            &mut free_slots,
+                            &mut on_volume,
+                            &config,
+                            &mut placements,
+                        );
                     }
                 }
                 Tag::StageOut { task, .. } => {
                     let run = tasks.get_mut(&task).expect("known");
                     run.remaining -= 1;
                     if run.remaining == 0 {
-                        complete_task(cluster, &mut tasks, task, &mut free_slots, &mut on_volume, &config, &mut placements);
+                        complete_task(
+                            cluster,
+                            &mut tasks,
+                            task,
+                            &mut free_slots,
+                            &mut on_volume,
+                            &config,
+                            &mut placements,
+                        );
                     }
                 }
                 _ => {}
@@ -428,9 +465,16 @@ fn start_exec(cluster: &mut Cluster, run: &mut Run, task: TaskId, config: &Basel
     };
     let threads = run.spec.cost.threads.min(cap).max(1) as f64;
     cluster.engine.start(
-        Activity::Compute { node: run.node, threads },
+        Activity::Compute {
+            node: run.node,
+            threads,
+        },
         run.spec.cost.cpu_seconds,
-        Tag::Exec { wf: u32::MAX, task },
+        Tag::Exec {
+            wf: u32::MAX,
+            task,
+            attempt: 0,
+        },
     );
 }
 
@@ -472,7 +516,10 @@ mod tests {
             inputs: inputs.iter().map(|s| s.to_string()).collect(),
             outputs: outputs
                 .iter()
-                .map(|(p, s)| OutputSpec { path: p.to_string(), size: *s })
+                .map(|(p, s)| OutputSpec {
+                    path: p.to_string(),
+                    size: *s,
+                })
                 .collect(),
             cost: TaskCost::new(cpu, 2, 256),
         }
@@ -560,7 +607,7 @@ mod tests {
     fn slots_limit_concurrency() {
         // 4 independent 10s tasks, 1 node, 1 slot: strictly serial.
         let tasks: Vec<TaskSpec> = (0..4)
-            .map(|i| task(i, "t", &[], &[(&format!("/o{i}"), 1), ], 10.0))
+            .map(|i| task(i, "t", &[], &[(&format!("/o{i}"), 1)], 10.0))
             .collect();
         let wf = StaticWorkflow::new("serial", "test", tasks);
         let mut spec = ClusterSpec::homogeneous(1, "n", &NodeSpec::c3_2xlarge("p"));
@@ -577,7 +624,7 @@ mod tests {
 #[cfg(test)]
 mod limit_tests {
     use hiway_core::cluster::Cluster;
-    use hiway_lang::ir::{StaticWorkflow, TaskSpec, TaskId, TaskCost};
+    use hiway_lang::ir::{StaticWorkflow, TaskCost, TaskId, TaskSpec};
     use hiway_sim::{ClusterSpec, ExternalSpec, NodeSpec};
 
     #[test]

@@ -51,7 +51,12 @@ impl KmeansParams {
     /// Emits the Cuneiform source.
     pub fn cuneiform_source(&self) -> String {
         let parts: Vec<String> = (0..self.partitions)
-            .map(|p| format!("file(\"/kmeans/points_{p}.dat\", {})", self.bytes_per_partition))
+            .map(|p| {
+                format!(
+                    "file(\"/kmeans/points_{p}.dat\", {})",
+                    self.bytes_per_partition
+                )
+            })
             .collect();
         format!(
             r#"% iterative k-means clustering (paper section 3.3)

@@ -207,7 +207,10 @@ mod tests {
 
     #[test]
     fn runtime_scale_multiplies_costs() {
-        let params = MontageParams { runtime_scale: 3.0, ..Default::default() };
+        let params = MontageParams {
+            runtime_scale: 3.0,
+            ..Default::default()
+        };
         let wf = parse_dax(&params.dax_source()).unwrap();
         let proj = wf.tasks.iter().find(|t| t.name == "mProjectPP").unwrap();
         assert_eq!(proj.cost.cpu_seconds, 54.0);

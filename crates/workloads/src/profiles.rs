@@ -12,8 +12,8 @@
 //! 3. **EC2 c3.2xlarge clusters** (§4.2): 1–6 workers, one task per node.
 
 use hiway_core::cluster::Cluster;
-use hiway_hdfs::HdfsConfig;
 use hiway_core::driver::{MasterOverhead, Runtime};
+use hiway_hdfs::HdfsConfig;
 use hiway_sim::{ClusterSpec, ExternalId, ExternalSpec, NodeId, NodeSpec};
 use hiway_yarn::Resource;
 
@@ -46,7 +46,10 @@ pub fn local_cluster(nodes: usize, seed: u64) -> Deployment {
     spec.switch_bps = Some(125.0e6);
     // Bulky pipeline intermediates are kept at replication 2, a common
     // Hadoop tuning on small clusters with constrained fabrics.
-    let hdfs = HdfsConfig { replication: 3, ..HdfsConfig::default() };
+    let hdfs = HdfsConfig {
+        replication: 3,
+        ..HdfsConfig::default()
+    };
     let cluster = Cluster::with_hdfs_config(spec, hdfs, seed);
     let runtime = Runtime::new(cluster);
     Deployment {
@@ -77,8 +80,14 @@ fn speed_jitter(seed: u64, i: u64) -> f64 {
 
 pub fn ec2_cluster(workers: usize, node_type: &NodeSpec, seed: u64) -> Deployment {
     let mut spec = ClusterSpec::default();
-    spec.add_node(NodeSpec { name: "hadoop-master".into(), ..node_type.clone() });
-    spec.add_node(NodeSpec { name: "am-master".into(), ..node_type.clone() });
+    spec.add_node(NodeSpec {
+        name: "hadoop-master".into(),
+        ..node_type.clone()
+    });
+    spec.add_node(NodeSpec {
+        name: "am-master".into(),
+        ..node_type.clone()
+    });
     for i in 0..workers {
         spec.add_node(NodeSpec {
             name: format!("worker-{i}"),
@@ -153,7 +162,10 @@ mod tests {
         // Hadoop master accepts no containers; AM master only a small one.
         assert_eq!(c.rm.total(NodeId(0)), Resource::ZERO);
         assert_eq!(c.rm.total(NodeId(1)), Resource::new(1, 2048));
-        assert_eq!(d.worker_ids(), vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)]);
+        assert_eq!(
+            d.worker_ids(),
+            vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)]
+        );
         assert!(d.runtime.master_overhead.is_some());
     }
 

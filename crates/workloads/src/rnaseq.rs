@@ -51,8 +51,11 @@ impl RnaseqParams {
         let lanes = self.lanes();
         let mut steps = Vec::new();
         // Step 0: the reference genome input port.
-        steps.push(r#""0": {"id": 0, "type": "data_input", "label": "genome",
-                 "inputs": [{"name": "genome"}], "input_connections": {}, "outputs": []}"#.to_string());
+        steps.push(
+            r#""0": {"id": 0, "type": "data_input", "label": "genome",
+                 "inputs": [{"name": "genome"}], "input_connections": {}, "outputs": []}"#
+                .to_string(),
+        );
         // Steps 1..=lanes: one reads input port per replicate.
         for lane in 0..lanes {
             let id = 1 + lane;
@@ -136,7 +139,10 @@ impl RnaseqParams {
         let mut m = HashMap::new();
         m.insert(
             "genome".to_string(),
-            BoundInput { path: "/ref/genome.fa".to_string(), size: self.genome_bytes },
+            BoundInput {
+                path: "/ref/genome.fa".to_string(),
+                size: self.genome_bytes,
+            },
         );
         for lane in 0..self.lanes() {
             m.insert(
@@ -178,8 +184,8 @@ impl RnaseqParams {
                 cpu_per_byte: 2.2e-6,
                 threads: 8,
                 memory_mb: 12_000,
-                output_factor: 0.26,  // hits vs reads+genome input
-                scratch_factor: 8.0,  // TopHat temp files, several times the input
+                output_factor: 0.26, // hits vs reads+genome input
+                scratch_factor: 8.0, // TopHat temp files, several times the input
             },
         );
         p.insert(
@@ -258,7 +264,11 @@ mod tests {
         // are immediately runnable.
         let roots = tasks
             .iter()
-            .filter(|t| t.inputs.iter().all(|i| i.starts_with("/ref") || i.starts_with("/geo")))
+            .filter(|t| {
+                t.inputs
+                    .iter()
+                    .all(|i| i.starts_with("/ref") || i.starts_with("/geo"))
+            })
             .count();
         assert_eq!(roots, 6);
     }

@@ -53,11 +53,11 @@ impl SnvParams {
             files_per_sample: 8,
             bytes_per_file: 256 << 20,
             input_prefix: "/1kg".to_string(),
-            align_cpu_per_byte: 2.2e-6,  // ≈ 590 CPU-s per 256 MiB chunk
-            sort_cpu_per_byte: 4.0e-7,   // ≈ 107 CPU-s per chunk
+            align_cpu_per_byte: 2.2e-6,   // ≈ 590 CPU-s per 256 MiB chunk
+            sort_cpu_per_byte: 4.0e-7,    // ≈ 107 CPU-s per chunk
             varscan_cpu_per_byte: 7.0e-8, // ≈ 150 CPU-s per sample
             annovar_cpu_per_byte: 1.0e-5, // ≈ 54 CPU-s per VCF
-            compression_factor: 0.25, // compact BAM/CRAM intermediates
+            compression_factor: 0.25,     // compact BAM/CRAM intermediates
         }
     }
 
@@ -247,7 +247,10 @@ mod tests {
         assert_eq!(p.input_files().len(), 16);
         let total = p.total_input_bytes() as f64;
         let nominal = (16u64 << 30) as f64;
-        assert!((total - nominal).abs() < nominal * 0.1, "jitter averages out");
+        assert!(
+            (total - nominal).abs() < nominal * 0.1,
+            "jitter averages out"
+        );
         let q = SnvParams::fig4(1);
         assert!(!q.inputs_are_external());
         assert!(q.input_files()[0].0.starts_with("/1kg/"));

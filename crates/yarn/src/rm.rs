@@ -19,7 +19,9 @@ pub struct RmConfig {
 
 impl Default for RmConfig {
     fn default() -> RmConfig {
-        RmConfig { capacity_fraction: 1.0 }
+        RmConfig {
+            capacity_fraction: 1.0,
+        }
     }
 }
 
@@ -58,7 +60,9 @@ impl ResourceManager {
             .iter()
             .map(|n| {
                 let total = Resource::new(
-                    ((n.cores as f64) * config.capacity_fraction).floor().max(1.0) as u32,
+                    ((n.cores as f64) * config.capacity_fraction)
+                        .floor()
+                        .max(1.0) as u32,
                     ((n.memory_mb as f64) * config.capacity_fraction).floor() as u64,
                 );
                 NodeState {
@@ -302,7 +306,10 @@ mod tests {
         let mut r = rm(2);
         let app = r.submit_app("wf");
         // Fill node 0 completely.
-        r.request(app, ContainerRequest::pinned(Resource::new(2, 7000), NodeId(0)));
+        r.request(
+            app,
+            ContainerRequest::pinned(Resource::new(2, 7000), NodeId(0)),
+        );
         assert_eq!(r.allocate().len(), 1);
         // A strict request for node 0 must wait even though node 1 is free.
         let rid = r.request(app, ContainerRequest::pinned(one_core(), NodeId(0)));
@@ -363,7 +370,12 @@ mod tests {
     #[test]
     fn capacity_fraction_reserves_headroom() {
         let spec = ClusterSpec::homogeneous(1, "n", &NodeSpec::c3_2xlarge("p"));
-        let r = ResourceManager::new(&spec, RmConfig { capacity_fraction: 0.5 });
+        let r = ResourceManager::new(
+            &spec,
+            RmConfig {
+                capacity_fraction: 0.5,
+            },
+        );
         assert_eq!(r.total(NodeId(0)).vcores, 4);
         assert_eq!(r.total(NodeId(0)).memory_mb, 7500);
     }
@@ -373,5 +385,85 @@ mod tests {
         let mut r = rm(1);
         let a = r.submit_app("snv-calling");
         assert_eq!(r.app_name(a), "snv-calling");
+    }
+
+    #[test]
+    fn recovered_node_restores_full_capacity() {
+        let mut r = rm(2);
+        let app = r.submit_app("wf");
+        // Two containers on node 0, then the node dies mid-flight.
+        r.request(app, ContainerRequest::pinned(one_core(), NodeId(0)));
+        r.request(app, ContainerRequest::pinned(one_core(), NodeId(0)));
+        assert_eq!(r.allocate().len(), 2);
+        assert_eq!(r.available(NodeId(0)).vcores, 0);
+        r.fail_node(NodeId(0));
+
+        r.revive_node(NodeId(0));
+        assert!(r.is_alive(NodeId(0)));
+        // The containers died with the node: the NodeManager re-registers
+        // with its *full* capacity, not the pre-crash remainder.
+        assert_eq!(r.available(NodeId(0)), r.total(NodeId(0)));
+        assert_eq!(r.running_containers(), 0);
+    }
+
+    #[test]
+    fn old_container_ids_stay_dead_after_recovery() {
+        let mut r = rm(2);
+        let app = r.submit_app("wf");
+        r.request(app, ContainerRequest::pinned(one_core(), NodeId(0)));
+        let got = r.allocate();
+        let old = got[0].id;
+        let killed = r.fail_node(NodeId(0));
+        assert_eq!(killed[0].id, old);
+        r.revive_node(NodeId(0));
+
+        // The pre-crash container id is gone for good: no lookup, no
+        // double-release, and fresh allocations never reuse it.
+        assert!(r.container(old).is_none());
+        assert!(r.release(old).is_none());
+        assert_eq!(r.available(NodeId(0)), r.total(NodeId(0)));
+        r.request(app, ContainerRequest::pinned(one_core(), NodeId(0)));
+        let fresh = r.allocate();
+        assert_eq!(fresh.len(), 1);
+        assert_ne!(fresh[0].id, old);
+    }
+
+    #[test]
+    fn new_allocations_land_on_recovered_node() {
+        let mut r = rm(2);
+        let app = r.submit_app("wf");
+        r.fail_node(NodeId(0));
+        // While node 0 is down, relaxed requests avoid it...
+        r.request(app, ContainerRequest::anywhere(one_core()));
+        assert_eq!(r.allocate()[0].node, NodeId(1));
+        // ...and pinned requests for it starve.
+        let starved = r.request(app, ContainerRequest::pinned(one_core(), NodeId(0)));
+        assert!(r.allocate().is_empty());
+        assert_eq!(r.pending_requests(), 1);
+
+        r.revive_node(NodeId(0));
+        // The queued pinned request is finally served on the revived node.
+        let got = r.allocate();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].node, NodeId(0));
+        let _ = starved;
+        // And relaxed requests may use it again too.
+        r.request(app, ContainerRequest::anywhere(one_core()));
+        let nodes: Vec<NodeId> = r.allocate().iter().map(|c| c.node).collect();
+        assert!(!nodes.is_empty());
+    }
+
+    #[test]
+    fn revive_is_idempotent_on_alive_nodes() {
+        let mut r = rm(1);
+        let app = r.submit_app("wf");
+        r.request(app, ContainerRequest::anywhere(one_core()));
+        assert_eq!(r.allocate().len(), 1);
+        let before = r.available(NodeId(0));
+        // Reviving a node that never died must not resurrect capacity
+        // currently leased to containers.
+        r.revive_node(NodeId(0));
+        assert_eq!(r.available(NodeId(0)), before);
+        assert_eq!(r.running_containers(), 1);
     }
 }

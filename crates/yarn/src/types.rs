@@ -10,7 +10,10 @@ pub struct Resource {
 }
 
 impl Resource {
-    pub const ZERO: Resource = Resource { vcores: 0, memory_mb: 0 };
+    pub const ZERO: Resource = Resource {
+        vcores: 0,
+        memory_mb: 0,
+    };
 
     pub fn new(vcores: u32, memory_mb: u64) -> Resource {
         Resource { vcores, memory_mb }

@@ -71,11 +71,17 @@ fn strict_request_completes_once_node_frees_up() {
     let mut r = rm(2);
     let app = r.submit_app("wf");
     // Occupy node 1 fully.
-    r.request(app, ContainerRequest::pinned(Resource::new(2, 7000), NodeId(1)));
+    r.request(
+        app,
+        ContainerRequest::pinned(Resource::new(2, 7000), NodeId(1)),
+    );
     let first = r.allocate();
     assert_eq!(first.len(), 1);
     // A pinned ask for node 1 queues...
-    r.request(app, ContainerRequest::pinned(Resource::new(1, 1000), NodeId(1)));
+    r.request(
+        app,
+        ContainerRequest::pinned(Resource::new(1, 1000), NodeId(1)),
+    );
     assert!(r.allocate().is_empty());
     // ...until the occupant releases.
     r.release(first[0].id);

@@ -29,7 +29,10 @@ fn main() {
             name: "crunch".into(),
             command: format!("crunch --part {i}"),
             inputs: vec!["/in/genome.dat".into()],
-            outputs: vec![OutputSpec { path: format!("/out/part{i}"), size: 16 << 20 }],
+            outputs: vec![OutputSpec {
+                path: format!("/out/part{i}"),
+                size: 16 << 20,
+            }],
             cost: TaskCost::new(300.0, 1, 512),
         })
         .collect();

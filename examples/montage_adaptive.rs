@@ -7,7 +7,6 @@
 //! cargo run --release --example montage_adaptive
 //! ```
 
-
 use hiway::core::{HiwayConfig, SchedulerPolicy};
 use hiway::lang::dax::parse_dax;
 use hiway::provdb::ProvDb;
@@ -23,8 +22,14 @@ fn run_once(policy: SchedulerPolicy, db: ProvDb, seed: u64) -> f64 {
     // worker 0 clean, 1–5 CPU-stressed, 6–10 disk-stressed.
     let workers = deployment.worker_ids();
     for (i, &level) in [1u32, 2, 4, 8, 16].iter().enumerate() {
-        deployment.runtime.cluster.add_cpu_stress(workers[1 + i], level);
-        deployment.runtime.cluster.add_disk_stress(workers[6 + i], level);
+        deployment
+            .runtime
+            .cluster
+            .add_cpu_stress(workers[1 + i], level);
+        deployment
+            .runtime
+            .cluster
+            .add_disk_stress(workers[6 + i], level);
     }
     for (path, size) in montage.input_files() {
         deployment.runtime.cluster.prestage(&path, size);

@@ -47,6 +47,9 @@ fn main() {
         .collect();
     println!("annotated variant files in HDFS: {}", outputs.len());
     for path in outputs {
-        println!("  {path} ({} bytes)", runtime.cluster.hdfs.len(&path).unwrap());
+        println!(
+            "  {path} ({} bytes)",
+            runtime.cluster.hdfs.len(&path).unwrap()
+        );
     }
 }

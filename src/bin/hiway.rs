@@ -45,7 +45,9 @@ fn main() -> ExitCode {
 
     match positional.first().map(|s| s.as_str()) {
         Some("run") => {
-            let Some(path) = positional.get(1) else { return usage() };
+            let Some(path) = positional.get(1) else {
+                return usage();
+            };
             run_recipe(path, trace_out.as_deref(), verbose, None)
         }
         Some("replay") => {
@@ -56,7 +58,9 @@ fn main() -> ExitCode {
             run_recipe(recipe_path, None, verbose, Some(trace_path))
         }
         Some("check") => {
-            let Some(path) = positional.get(1) else { return usage() };
+            let Some(path) = positional.get(1) else {
+                return usage();
+            };
             match read_and_cook(path) {
                 Ok(cooked) => {
                     println!(
@@ -75,7 +79,9 @@ fn main() -> ExitCode {
             }
         }
         Some("dot") => {
-            let Some(path) = positional.get(1) else { return usage() };
+            let Some(path) = positional.get(1) else {
+                return usage();
+            };
             match read_and_cook(path) {
                 Ok(mut cooked) => {
                     // Static languages render directly; iterative ones
@@ -123,8 +129,8 @@ fn hiway_table1() -> String {
 }
 
 fn read_and_cook(path: &str) -> Result<hiway::recipes::CookedExperiment, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read recipe '{path}': {e}"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read recipe '{path}': {e}"))?;
     let recipe = parse_recipe(&text).map_err(|e| e.to_string())?;
     cook(&recipe).map_err(|e| e.to_string())
 }
@@ -200,7 +206,10 @@ fn run_recipe(
             eprintln!("cannot write trace '{out}': {e}");
             return ExitCode::FAILURE;
         }
-        println!("provenance trace written to {out} ({} events)", report.trace.lines().count());
+        println!(
+            "provenance trace written to {out} ({} events)",
+            report.trace.lines().count()
+        );
     }
     ExitCode::SUCCESS
 }

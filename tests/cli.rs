@@ -30,7 +30,11 @@ fn run_executes_a_recipe_and_reports() {
     let recipe = write_recipe(&dir, "montage.recipe", RECIPE);
     let out = hiway().arg("run").arg(&recipe).output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("finished"), "{stdout}");
     assert!(stdout.contains("mProjectPP"), "{stdout}");
 }
@@ -47,7 +51,11 @@ fn trace_written_by_run_replays() {
         .arg(&trace)
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace.exists());
 
     let out = hiway()
@@ -58,7 +66,11 @@ fn trace_written_by_run_replays() {
         .output()
         .unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("[trace]"), "{stdout}");
     assert!(stdout.contains("per-task schedule"), "{stdout}");
 }
@@ -92,7 +104,11 @@ fn dot_exports_the_workflow_graph() {
     let dir = tmpdir("dot");
     let recipe = write_recipe(&dir, "montage.recipe", RECIPE);
     let out = hiway().arg("dot").arg(&recipe).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let dot = String::from_utf8_lossy(&out.stdout);
     assert!(dot.starts_with("digraph workflow {"), "{dot}");
     assert!(dot.contains("mProjectPP"), "{dot}");

@@ -36,7 +36,10 @@ fn all_four_languages_execute_on_one_cluster_sequentially() {
     let mut bindings = HashMap::new();
     bindings.insert(
         "reads".to_string(),
-        hiway::lang::galaxy::BoundInput { path: "/shared/in.dat".into(), size: 1000 },
+        hiway::lang::galaxy::BoundInput {
+            path: "/shared/in.dat".into(),
+            size: 1000,
+        },
     );
     let galaxy = hiway::lang::galaxy::parse_galaxy(
         r#"{"name": "gx", "steps": {
@@ -87,14 +90,14 @@ fn provenance_statistics_survive_between_workflows_and_feed_heft() {
     let db = ProvDb::new();
     let mut runtimes = Vec::new();
     for k in 0..3 {
-        let mut deployment = hiway::workloads::profiles::ec2_cluster(
-            11,
-            &NodeSpec::m3_large("proto"),
-            50 + k,
-        );
+        let mut deployment =
+            hiway::workloads::profiles::ec2_cluster(11, &NodeSpec::m3_large("proto"), 50 + k);
         let workers = deployment.worker_ids();
         for (i, level) in [2u32, 4, 8, 16].iter().enumerate() {
-            deployment.runtime.cluster.add_cpu_stress(workers[1 + i], *level);
+            deployment
+                .runtime
+                .cluster
+                .add_cpu_stress(workers[1 + i], *level);
         }
         for (path, size) in montage.input_files() {
             deployment.runtime.cluster.prestage(&path, size);
@@ -152,8 +155,7 @@ fn data_aware_beats_fcfs_on_a_congested_switch() {
         for (path, size) in snv.input_files() {
             deployment.runtime.cluster.prestage(&path, size);
         }
-        let source =
-            CuneiformWorkflow::parse("snv", &snv.cuneiform_source(), 77).unwrap();
+        let source = CuneiformWorkflow::parse("snv", &snv.cuneiform_source(), 77).unwrap();
         let mut config = HiwayConfig {
             container_resource: hiway::yarn::Resource::new(1, 1000),
             scheduler: policy,
@@ -163,10 +165,11 @@ fn data_aware_beats_fcfs_on_a_congested_switch() {
         };
         // Plenty of one-core containers per node.
         for node in 0..6 {
-            deployment.runtime.cluster.rm.set_capacity(
-                NodeId(node),
-                hiway::yarn::Resource::new(8, 8000),
-            );
+            deployment
+                .runtime
+                .cluster
+                .rm
+                .set_capacity(NodeId(node), hiway::yarn::Resource::new(8, 8000));
         }
         config.heartbeat_secs = 1.0;
         let mut rt = deployment.runtime;
