@@ -10,7 +10,7 @@ echo "==> build (release)"
 cargo build --release --workspace
 
 echo "==> rustfmt (first-party crates; compat/ shims are vendored as-is)"
-cargo fmt --check -p hiway -p hiway-sim -p hiway-hdfs -p hiway-yarn \
+cargo fmt --check -p hiway -p hiway-obs -p hiway-sim -p hiway-hdfs -p hiway-yarn \
   -p hiway-format -p hiway-lang -p hiway-provdb -p hiway-core \
   -p hiway-workloads -p hiway-recipes -p hiway-bench
 
@@ -18,13 +18,28 @@ echo "==> tests"
 cargo test -q --workspace
 
 echo "==> clippy (first-party crates; compat/ shims are vendored as-is)"
-cargo clippy --all-targets -p hiway -p hiway-sim -p hiway-hdfs -p hiway-yarn \
+cargo clippy --all-targets -p hiway -p hiway-obs -p hiway-sim -p hiway-hdfs -p hiway-yarn \
   -p hiway-format -p hiway-lang -p hiway-provdb -p hiway-core \
   -p hiway-workloads -p hiway-recipes -p hiway-bench -- -D warnings
 
 echo "==> engine benchmark smoke"
 ./target/release/bench_engine --quick BENCH_engine.json
 cat BENCH_engine.json
+
+echo "==> observability overhead smoke"
+./target/release/bench_obs --quick BENCH_obs.json
+cat BENCH_obs.json
+
+echo "==> trace determinism gate (same seed, twice, byte-identical)"
+./target/release/hiway-trace --out-dir /tmp/hiway_trace1 > /dev/null
+./target/release/hiway-trace --out-dir /tmp/hiway_trace2 > /dev/null
+for f in trace.perfetto.json trace.events.jsonl trace.gantt.txt; do
+  if ! cmp -s "/tmp/hiway_trace1/$f" "/tmp/hiway_trace2/$f"; then
+    echo "FAIL: $f differs between two identically-seeded runs" >&2
+    exit 1
+  fi
+done
+echo "trace artifacts byte-identical across runs"
 
 echo "==> chaos determinism gate (same seed, twice, byte-identical)"
 ./target/release/chaos > /tmp/chaos_run1.txt

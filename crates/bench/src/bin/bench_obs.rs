@@ -1,0 +1,96 @@
+//! Observability-overhead benchmark: drives the Figure-4-shaped engine
+//! workload with the tracer disabled and enabled, prints the events/sec
+//! comparison, and emits `BENCH_obs.json` for regression tracking. The
+//! tracing-off number is the zero-overhead contract: it must stay within
+//! noise of `BENCH_engine.json`'s incremental driver.
+//!
+//! Usage: `bench_obs [--quick] [output.json]`
+
+use std::time::Instant;
+
+use hiway_bench::engine_bench::{drive_incremental_traced, make_plan, DriveResult};
+use hiway_obs::Tracer;
+
+struct Measured {
+    result: DriveResult,
+    best_secs: f64,
+    /// Span/instant/counter events the tracer recorded in one run.
+    trace_events: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+
+    let (nodes, tasks, runs) = if quick { (24, 576, 2) } else { (24, 576, 5) };
+    let plan = make_plan(nodes, tasks, 4242);
+
+    let measure = |enabled: bool| -> Measured {
+        let fresh = || {
+            if enabled {
+                Tracer::enabled()
+            } else {
+                Tracer::disabled()
+            }
+        };
+        // Warm-up; also the result every timed run must reproduce.
+        let result = drive_incremental_traced(nodes, &plan, &fresh());
+        let mut best = f64::INFINITY;
+        let mut trace_events = 0;
+        for _ in 0..runs {
+            // Each timed run gets its own buffer so allocation cost is
+            // counted every time, not amortized.
+            let tracer = fresh();
+            let t0 = Instant::now();
+            let r = drive_incremental_traced(nodes, &plan, &tracer);
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(r, result, "benchmark run was not deterministic");
+            best = best.min(dt);
+            trace_events = tracer.event_count();
+        }
+        Measured {
+            result,
+            best_secs: best,
+            trace_events,
+        }
+    };
+
+    println!("observability overhead benchmark: {nodes} nodes, {tasks} task pipelines");
+    let off = measure(false);
+    let off_eps = off.result.events as f64 / off.best_secs;
+    println!(
+        "  tracing off: {:>8.0} events/sec ({} events, best of {runs}: {:.3}s)",
+        off_eps, off.result.events, off.best_secs,
+    );
+    let on = measure(true);
+    let on_eps = on.result.events as f64 / on.best_secs;
+    println!(
+        "  tracing on:  {:>8.0} events/sec ({} trace events recorded, best of {runs}: {:.3}s)",
+        on_eps, on.trace_events, on.best_secs,
+    );
+    assert_eq!(
+        off.result, on.result,
+        "tracing changed the simulation outcome"
+    );
+    let overhead = on.best_secs / off.best_secs - 1.0;
+    println!("  overhead:    {:.1}% when enabled", overhead * 100.0);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"obs_overhead\",\n  \"workload\": {{\n    \"shape\": \"fig4\",\n    \"nodes\": {nodes},\n    \"task_pipelines\": {tasks},\n    \"events\": {},\n    \"virtual_secs\": {:.3}\n  }},\n  \"tracing_off\": {{\n    \"wall_secs\": {:.6},\n    \"events_per_sec\": {:.1}\n  }},\n  \"tracing_on\": {{\n    \"wall_secs\": {:.6},\n    \"events_per_sec\": {:.1},\n    \"trace_events\": {}\n  }},\n  \"overhead_frac\": {:.4}\n}}\n",
+        off.result.events,
+        off.result.virtual_secs,
+        off.best_secs,
+        off_eps,
+        on.best_secs,
+        on_eps,
+        on.trace_events,
+        overhead,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_obs.json");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,85 @@
+//! `hiway-trace`: run one fully-traced workflow execution and export the
+//! observability artifacts.
+//!
+//! Usage:
+//!   hiway-trace [--workers N] [--seed S] [--intensity X]
+//!               [--scheduler fcfs|data-aware|round-robin|heft|adaptive]
+//!               [--out-dir DIR]
+//!
+//! Writes into `--out-dir` (default `.`):
+//!   trace.perfetto.json  Chrome trace-event JSON — open at ui.perfetto.dev
+//!   trace.events.jsonl   JSON-lines event log (events, decisions, metrics)
+//!   trace.gantt.txt      plain-text per-node Gantt chart
+//!
+//! Output is byte-deterministic for a given flag set; CI runs it twice
+//! and diffs.
+
+use std::path::Path;
+
+use hiway_bench::trace_run::{run, TraceParams};
+use hiway_core::SchedulerPolicy;
+
+fn parse_scheduler(s: &str) -> SchedulerPolicy {
+    match s {
+        "fcfs" => SchedulerPolicy::Fcfs,
+        "data-aware" => SchedulerPolicy::DataAware,
+        "round-robin" => SchedulerPolicy::RoundRobin,
+        "heft" => SchedulerPolicy::Heft,
+        "adaptive" => SchedulerPolicy::Adaptive,
+        other => {
+            eprintln!(
+                "unknown scheduler {other:?}; expected fcfs|data-aware|round-robin|heft|adaptive"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut params = TraceParams::default();
+    let mut out_dir = ".".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--workers" => params.workers = value("--workers").parse().expect("--workers: usize"),
+            "--seed" => params.seed = value("--seed").parse().expect("--seed: u64"),
+            "--intensity" => {
+                params.intensity = value("--intensity").parse().expect("--intensity: f64")
+            }
+            "--scheduler" => params.scheduler = parse_scheduler(&value("--scheduler")),
+            "--out-dir" => out_dir = value("--out-dir"),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let out = match run(&params) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("trace run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let dir = Path::new(&out_dir);
+    std::fs::create_dir_all(dir).expect("create --out-dir");
+    for (file, bytes) in [
+        ("trace.perfetto.json", &out.perfetto),
+        ("trace.events.jsonl", &out.jsonl),
+        ("trace.gantt.txt", &out.gantt),
+    ] {
+        let path = dir.join(file);
+        std::fs::write(&path, bytes).expect("write trace artifact");
+        println!("wrote {} ({} bytes)", path.display(), bytes.len());
+    }
+    print!("{}", out.summary);
+    println!("open trace.perfetto.json at https://ui.perfetto.dev");
+}

@@ -87,125 +87,158 @@ fn tag(task: usize, phase: u64) -> u64 {
     (phase << 48) | task as u64
 }
 
-macro_rules! impl_drive {
-    ($(#[$doc:meta])* $name:ident, $engine:ty) => {
-        $(#[$doc])*
-        pub fn $name(nodes: usize, plan: &[TaskPlan]) -> DriveResult {
-            let spec = ClusterSpec::homogeneous(nodes, "bench", &NodeSpec::m3_large("p"));
-            let mut engine: $engine = <$engine>::new(spec);
+/// The drive loop, as a macro because the two engines share their inherent
+/// API but no trait. Takes a pre-built engine expression so callers can
+/// attach a tracer (or other setup) before driving.
+macro_rules! drive_with {
+    ($engine:expr, $nodes:expr, $plan:expr) => {{
+        let nodes: usize = $nodes;
+        let plan: &[TaskPlan] = $plan;
+        let mut engine = $engine;
 
-            // Two infinite background loads: never complete, must never be
-            // scanned for completions.
+        // Two infinite background loads: never complete, must never be
+        // scanned for completions.
+        engine.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 0.5,
+            },
+            f64::INFINITY,
+            BG_CANCEL - 2,
+        );
+        if nodes > 1 {
             engine.start(
-                Activity::Compute { node: NodeId(0), threads: 0.5 },
+                Activity::Compute {
+                    node: NodeId(1),
+                    threads: 0.5,
+                },
                 f64::INFINITY,
-                BG_CANCEL - 2,
+                BG_CANCEL - 3,
             );
-            if nodes > 1 {
-                engine.start(
-                    Activity::Compute { node: NodeId(1), threads: 0.5 },
-                    f64::INFINITY,
-                    BG_CANCEL - 3,
-                );
-            }
+        }
 
-            // The AM staggers container launches over the first minute.
-            for (i, t) in plan.iter().enumerate() {
-                engine.set_timer_after(t.start_at, tag(i, LAUNCH));
-            }
-            engine.set_timer_after(3.0, HEARTBEAT);
+        // The AM staggers container launches over the first minute.
+        for (i, t) in plan.iter().enumerate() {
+            engine.set_timer_after(t.start_at, tag(i, LAUNCH));
+        }
+        engine.set_timer_after(3.0, HEARTBEAT);
 
-            let mut done = 0usize;
-            let mut events = 0u64;
-            let mut steps = 0u64;
-            let mut beat = 0u64;
-            let mut bg: Option<ActivityId> = None;
-            while done < plan.len() {
-                let fired = engine.step().expect("work remains");
-                steps += 1;
-                for completion in fired {
-                    events += 1;
-                    let t = match completion {
-                        Completion::Activity { tag: t, .. } => t,
-                        Completion::Timer { tag: t, .. } => t,
-                    };
-                    if t == HEARTBEAT {
-                        // AM heartbeat: reschedule, and churn the
-                        // cancellation path with a short-lived load.
-                        beat += 1;
-                        if let Some(id) = bg.take() {
-                            engine.cancel(id);
-                        }
-                        if beat % 8 == 0 {
-                            bg = Some(engine.start(
-                                Activity::Compute {
-                                    node: NodeId((beat % nodes as u64) as u32),
-                                    threads: 2.0,
-                                },
-                                f64::INFINITY,
-                                BG_CANCEL,
-                            ));
-                        }
-                        if done < plan.len() {
-                            engine.set_timer_after(3.0, HEARTBEAT);
-                        }
-                        continue;
+        let mut done = 0usize;
+        let mut events = 0u64;
+        let mut steps = 0u64;
+        let mut beat = 0u64;
+        let mut bg: Option<ActivityId> = None;
+        while done < plan.len() {
+            let fired = engine.step().expect("work remains");
+            steps += 1;
+            for completion in fired {
+                events += 1;
+                let t = match completion {
+                    Completion::Activity { tag: t, .. } => t,
+                    Completion::Timer { tag: t, .. } => t,
+                };
+                if t == HEARTBEAT {
+                    // AM heartbeat: reschedule, and churn the
+                    // cancellation path with a short-lived load.
+                    beat += 1;
+                    if let Some(id) = bg.take() {
+                        engine.cancel(id);
                     }
-                    let (task, phase) = ((t & 0xffff_ffff) as usize, t >> 48);
-                    let p = &plan[task];
-                    match phase {
-                        LAUNCH => {
-                            let act = match p.remote_src {
-                                Some(src) => Activity::Flow {
-                                    src: Endpoint::Node(src),
-                                    dst: Endpoint::Node(p.node),
-                                    src_disk: true,
-                                    dst_disk: true,
-                                },
-                                None => Activity::DiskRead { node: p.node },
-                            };
-                            engine.start(act, p.read_bytes, tag(task, STAGE_IN));
-                        }
-                        STAGE_IN => {
-                            engine.start(
-                                Activity::Compute { node: p.node, threads: 1.0 },
-                                p.compute_secs[0],
-                                tag(task, 1),
-                            );
-                        }
-                        stage @ (1 | 2) => {
-                            engine.start(
-                                Activity::Compute { node: p.node, threads: 1.0 },
-                                p.compute_secs[stage as usize],
-                                tag(task, stage + 1),
-                            );
-                        }
-                        3 => {
-                            engine.start(
-                                Activity::DiskWrite { node: p.node },
-                                p.write_bytes,
-                                tag(task, WRITE_BACK),
-                            );
-                        }
-                        _ => done += 1,
+                    if beat % 8 == 0 {
+                        bg = Some(engine.start(
+                            Activity::Compute {
+                                node: NodeId((beat % nodes as u64) as u32),
+                                threads: 2.0,
+                            },
+                            f64::INFINITY,
+                            BG_CANCEL,
+                        ));
                     }
+                    if done < plan.len() {
+                        engine.set_timer_after(3.0, HEARTBEAT);
+                    }
+                    continue;
+                }
+                let (task, phase) = ((t & 0xffff_ffff) as usize, t >> 48);
+                let p = &plan[task];
+                match phase {
+                    LAUNCH => {
+                        let act = match p.remote_src {
+                            Some(src) => Activity::Flow {
+                                src: Endpoint::Node(src),
+                                dst: Endpoint::Node(p.node),
+                                src_disk: true,
+                                dst_disk: true,
+                            },
+                            None => Activity::DiskRead { node: p.node },
+                        };
+                        engine.start(act, p.read_bytes, tag(task, STAGE_IN));
+                    }
+                    STAGE_IN => {
+                        engine.start(
+                            Activity::Compute {
+                                node: p.node,
+                                threads: 1.0,
+                            },
+                            p.compute_secs[0],
+                            tag(task, 1),
+                        );
+                    }
+                    stage @ (1 | 2) => {
+                        engine.start(
+                            Activity::Compute {
+                                node: p.node,
+                                threads: 1.0,
+                            },
+                            p.compute_secs[stage as usize],
+                            tag(task, stage + 1),
+                        );
+                    }
+                    3 => {
+                        engine.start(
+                            Activity::DiskWrite { node: p.node },
+                            p.write_bytes,
+                            tag(task, WRITE_BACK),
+                        );
+                    }
+                    _ => done += 1,
                 }
             }
-            DriveResult { events, steps, virtual_secs: engine.now().as_secs() }
         }
-    };
+        DriveResult {
+            events,
+            steps,
+            virtual_secs: engine.now().as_secs(),
+        }
+    }};
 }
 
-impl_drive!(
-    /// Drives the plan through the incremental engine.
-    drive_incremental,
-    Engine<u64>
-);
-impl_drive!(
-    /// Drives the plan through the naive reference engine.
-    drive_reference,
-    ReferenceEngine<u64>
-);
+fn bench_spec(nodes: usize) -> ClusterSpec {
+    ClusterSpec::homogeneous(nodes, "bench", &NodeSpec::m3_large("p"))
+}
+
+/// Drives the plan through the incremental engine.
+pub fn drive_incremental(nodes: usize, plan: &[TaskPlan]) -> DriveResult {
+    drive_with!(Engine::<u64>::new(bench_spec(nodes)), nodes, plan)
+}
+
+/// Drives the plan through the incremental engine with `tracer` attached —
+/// the tracing-on side of the `BENCH_obs.json` overhead comparison. With
+/// a disabled tracer this is byte-for-byte the [`drive_incremental`] path.
+pub fn drive_incremental_traced(
+    nodes: usize,
+    plan: &[TaskPlan],
+    tracer: &hiway_obs::Tracer,
+) -> DriveResult {
+    let mut engine = Engine::<u64>::new(bench_spec(nodes));
+    engine.set_tracer(tracer);
+    drive_with!(engine, nodes, plan)
+}
+
+/// Drives the plan through the naive reference engine.
+pub fn drive_reference(nodes: usize, plan: &[TaskPlan]) -> DriveResult {
+    drive_with!(ReferenceEngine::<u64>::new(bench_spec(nodes)), nodes, plan)
+}
 
 #[cfg(test)]
 mod tests {
@@ -224,5 +257,21 @@ mod tests {
         assert_eq!(a.virtual_secs.to_bits(), b.virtual_secs.to_bits());
         // launch + stage-in + 3 computes + write per task, plus heartbeats
         assert!(a.events as usize >= 6 * 48, "every phase completes");
+    }
+
+    /// The tracing-off traced entry point must be indistinguishable from
+    /// the plain one (that's the zero-overhead contract), and an enabled
+    /// tracer must not change the simulation — only record it.
+    #[test]
+    fn tracer_does_not_perturb_the_benchmark_workload() {
+        let plan = make_plan(4, 24, 7);
+        let plain = drive_incremental(4, &plan);
+        let off = drive_incremental_traced(4, &plan, &hiway_obs::Tracer::disabled());
+        assert_eq!(plain, off);
+        let tracer = hiway_obs::Tracer::enabled();
+        let on = drive_incremental_traced(4, &plan, &tracer);
+        assert_eq!(plain, on);
+        assert!(tracer.event_count() > 0, "enabled tracer saw the run");
+        assert_eq!(tracer.counter_value("engine.steps"), plain.steps);
     }
 }

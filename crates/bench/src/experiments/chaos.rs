@@ -24,6 +24,7 @@
 use hiway_core::faults::{FaultConfig, FaultInjector, FaultPlan};
 use hiway_core::{HiwayConfig, SchedulerPolicy};
 use hiway_lang::dax::parse_dax;
+use hiway_obs::Tracer;
 use hiway_provdb::ProvDb;
 use hiway_sim::NodeSpec;
 use hiway_workloads::montage::MontageParams;
@@ -107,8 +108,21 @@ fn chaos_am_config(seed: u64, task_failure_prob: f64) -> HiwayConfig {
 
 /// Runs one seeded repetition at one intensity.
 pub fn run_cell(workers: usize, intensity: f64, seed: u64) -> Result<ChaosCell, String> {
+    run_cell_traced(workers, intensity, seed, &Tracer::disabled())
+}
+
+/// Like [`run_cell`], but with the runtime and the fault injector wired to
+/// `tracer`, so fault instants land on the trace and the per-kind
+/// `fault.*` counters land in the metrics registry.
+pub fn run_cell_traced(
+    workers: usize,
+    intensity: f64,
+    seed: u64,
+    tracer: &Tracer,
+) -> Result<ChaosCell, String> {
     let montage = MontageParams::default();
     let mut deployment = profiles::ec2_cluster(workers, &NodeSpec::m3_large("proto"), seed);
+    deployment.runtime.set_tracer(tracer);
     for (path, size) in montage.input_files() {
         deployment.runtime.cluster.prestage(&path, size);
     }
@@ -122,6 +136,7 @@ pub fn run_cell(workers: usize, intensity: f64, seed: u64) -> Result<ChaosCell, 
     let workers_ids = deployment.worker_ids();
     let plan = FaultPlan::generate(&fc, &workers_ids);
     let mut injector = FaultInjector::new(plan, workers_ids);
+    injector.set_tracer(tracer);
     let reports = injector.run(&mut deployment.runtime);
     let report = &reports[idx];
     Ok(ChaosCell {
@@ -157,6 +172,40 @@ pub fn run(params: &ChaosParams) -> Result<ChaosResult, String> {
         intensities: params.intensities.clone(),
         cells,
     })
+}
+
+/// Runs the sweep and folds per-intensity totals into `tracer`'s metrics
+/// registry: for each intensity `x` the counters
+/// `chaos.faults_injected@x`, `chaos.infra_failures@x`,
+/// `chaos.task_failures@x`, and `chaos.completed@x` record the sums over
+/// all repetitions. (Cells run on worker threads, so they cannot share the
+/// single-threaded tracer; the aggregation here is where the registry gets
+/// fed.) A disabled tracer makes this identical to [`run`].
+pub fn run_traced(params: &ChaosParams, tracer: &Tracer) -> Result<ChaosResult, String> {
+    let result = run(params)?;
+    if tracer.is_enabled() {
+        for (i, cells) in result.cells.iter().enumerate() {
+            let label = format!("{:.2}", result.intensities[i]);
+            let sum = |f: &dyn Fn(&ChaosCell) -> u64| cells.iter().map(f).sum::<u64>();
+            tracer.inc(
+                &format!("chaos.faults_injected@{label}"),
+                sum(&|c| c.faults_injected as u64),
+            );
+            tracer.inc(
+                &format!("chaos.infra_failures@{label}"),
+                sum(&|c| c.infra_failures as u64),
+            );
+            tracer.inc(
+                &format!("chaos.task_failures@{label}"),
+                sum(&|c| c.task_failures as u64),
+            );
+            tracer.inc(
+                &format!("chaos.completed@{label}"),
+                cells.iter().filter(|c| c.completed).count() as u64,
+            );
+        }
+    }
+    Ok(result)
 }
 
 /// Renders the sweep as a text table.
@@ -272,6 +321,62 @@ mod tests {
         assert!(cell.faults_injected > 0, "plan unexpectedly empty");
         assert!(cell.completed, "moderate chaos should be survivable");
         assert!(cell.makespan_secs > 0.0);
+    }
+
+    #[test]
+    fn zero_intensity_emits_no_fault_events() {
+        // The default disabled tracer must stay allocation-free: no
+        // buffer exists, so nothing can have been recorded.
+        let off = Tracer::disabled();
+        let cell = run_cell_traced(6, 0.0, 4242, &off).unwrap();
+        assert_eq!(cell.faults_injected, 0);
+        assert_eq!(off.event_count(), 0);
+        assert!(
+            off.snapshot().is_none(),
+            "disabled tracer allocates nothing"
+        );
+
+        // An enabled tracer at intensity 0 sees plenty of engine/driver
+        // activity but exactly zero fault instants and fault counters.
+        let on = Tracer::enabled();
+        let cell = run_cell_traced(6, 0.0, 4242, &on).unwrap();
+        assert_eq!(cell.faults_injected, 0);
+        assert_eq!(on.counter_value("fault.injected"), 0);
+        assert_eq!(on.counter_value("fault.skipped"), 0);
+        let snap = on.snapshot().unwrap();
+        assert!(
+            !snap.events.is_empty(),
+            "the run itself must still be traced"
+        );
+        assert!(snap.events.iter().all(|e| !matches!(
+            e,
+            hiway_obs::TraceEvent::Instant { name, .. } if name.starts_with("fault:")
+        )));
+    }
+
+    #[test]
+    fn traced_sweep_logs_per_intensity_fault_counts() {
+        let params = ChaosParams {
+            workers: 6,
+            repetitions: 1,
+            intensities: vec![0.0, 1.0],
+        };
+        let tracer = Tracer::enabled();
+        let result = run_traced(&params, &tracer).unwrap();
+        assert_eq!(tracer.counter_value("chaos.faults_injected@0.00"), 0);
+        let injected_at_one: u64 = result.cells[1]
+            .iter()
+            .map(|c| c.faults_injected as u64)
+            .sum();
+        assert!(injected_at_one > 0, "intensity 1 should inject faults");
+        assert_eq!(
+            tracer.counter_value("chaos.faults_injected@1.00"),
+            injected_at_one
+        );
+        assert_eq!(
+            tracer.counter_value("chaos.completed@0.00"),
+            result.cells[0].iter().filter(|c| c.completed).count() as u64
+        );
     }
 
     #[test]

@@ -14,9 +14,15 @@
 //! | `fig6`    | Figure 6       | master/worker resource utilization |
 //! | `fig8`    | Figure 8       | TRAPLINE on Hi-WAY vs Galaxy CloudMan |
 //! | `fig9`    | Figure 9       | Montage: HEFT vs FCFS over provenance warm-up |
+//!
+//! Supplementary binaries: `ablation`, `multiwf`, `chaos`, `bench_engine`
+//! (engine hot-path vs reference), `bench_obs` (tracing-on overhead →
+//! `BENCH_obs.json`), and `hiway-trace` (one fully-traced run exported as
+//! Perfetto JSON / JSON-lines / text Gantt; see [`trace_run`]).
 
 pub mod engine_bench;
 pub mod experiments;
 pub mod stats;
+pub mod trace_run;
 
 pub use stats::Summary;

@@ -1,0 +1,163 @@
+//! One fully-traced workflow execution, behind the `hiway-trace` binary.
+//!
+//! Runs Montage on an EC2-profile cluster with the observability layer
+//! enabled end to end — engine activity spans, HDFS block counters, RM
+//! lifecycle metrics, driver container/phase spans, scheduler audit log,
+//! and (at intensity > 0) fault-injection instants — then snapshots the
+//! tracer and renders all three exporters. Everything downstream of the
+//! seed is deterministic, so two runs with the same [`TraceParams`]
+//! produce byte-identical artifacts; CI relies on that.
+
+use hiway_core::faults::{FaultConfig, FaultInjector, FaultPlan};
+use hiway_core::{HiwayConfig, SchedulerPolicy};
+use hiway_lang::dax::parse_dax;
+use hiway_obs::export::{to_gantt, to_jsonl, to_perfetto};
+use hiway_obs::Tracer;
+use hiway_provdb::ProvDb;
+use hiway_sim::NodeSpec;
+use hiway_workloads::montage::MontageParams;
+use hiway_workloads::profiles;
+use hiway_yarn::Resource;
+
+/// What to trace. The defaults are the fixed CI scenario.
+#[derive(Clone, Debug)]
+pub struct TraceParams {
+    pub workers: usize,
+    pub seed: u64,
+    /// Fault-intensity knob; 0.0 traces a fault-free run, the default
+    /// 0.5 makes the fault track worth looking at.
+    pub intensity: f64,
+    pub scheduler: SchedulerPolicy,
+}
+
+impl Default for TraceParams {
+    fn default() -> TraceParams {
+        TraceParams {
+            workers: 8,
+            seed: 4242,
+            intensity: 0.5,
+            scheduler: SchedulerPolicy::DataAware,
+        }
+    }
+}
+
+/// The three rendered artifacts plus a human-readable summary.
+#[derive(Clone, Debug)]
+pub struct TraceRun {
+    /// Chrome trace-event JSON — load at `ui.perfetto.dev`.
+    pub perfetto: String,
+    /// JSON-lines event log: events, decisions, final metrics.
+    pub jsonl: String,
+    /// Plain-text per-node Gantt chart.
+    pub gantt: String,
+    pub summary: String,
+}
+
+/// Runs the scenario and renders every exporter.
+pub fn run(params: &TraceParams) -> Result<TraceRun, String> {
+    let tracer = Tracer::enabled();
+    let montage = MontageParams::default();
+    let mut deployment =
+        profiles::ec2_cluster(params.workers, &NodeSpec::m3_large("proto"), params.seed);
+    // Attach before submit so static-plan scheduler decisions are captured.
+    deployment.runtime.set_tracer(&tracer);
+    for (path, size) in montage.input_files() {
+        deployment.runtime.cluster.prestage(&path, size);
+    }
+    let source = parse_dax(&montage.dax_source()).map_err(|e| e.to_string())?;
+    let config = HiwayConfig {
+        container_resource: Resource::new(1, 2048),
+        scheduler: params.scheduler,
+        speculative_execution: true,
+        seed: params.seed,
+        write_trace: false,
+        ..HiwayConfig::default()
+    };
+    let idx = deployment
+        .runtime
+        .submit(Box::new(source), config, ProvDb::new());
+    let worker_ids = deployment.worker_ids();
+    let fc = FaultConfig {
+        recovery_secs: 60.0,
+        straggler_secs: 45.0,
+        straggler_procs: 8,
+        ..FaultConfig::with_intensity(params.seed ^ 0x000f_a417, params.intensity)
+    };
+    let plan = FaultPlan::generate(&fc, &worker_ids);
+    let mut injector = FaultInjector::new(plan, worker_ids);
+    injector.set_tracer(&tracer);
+    let reports = injector.run(&mut deployment.runtime);
+    let report = &reports[idx];
+
+    let data = tracer
+        .snapshot()
+        .expect("tracer was enabled for the whole run");
+    let summary = format!(
+        "workload:   montage ({} tasks) · {} workers · seed {} · intensity {:.2}\n\
+         scheduler:  {}\n\
+         makespan:   {:.1}s virtual ({} infra failures, {} task failures, {} speculative)\n\
+         trace:      {} tracks · {} events · {} scheduler decisions · {} faults injected\n",
+        report.tasks.len(),
+        params.workers,
+        params.seed,
+        params.intensity,
+        report.scheduler,
+        report.runtime_secs(),
+        report.infra_failures,
+        report.task_failures,
+        report.speculative_attempts,
+        data.tracks.len(),
+        data.events.len(),
+        data.decisions.len(),
+        tracer.counter_value("fault.injected"),
+    );
+    Ok(TraceRun {
+        perfetto: to_perfetto(&data),
+        jsonl: to_jsonl(&data),
+        gantt: to_gantt(&data),
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_run_is_byte_deterministic() {
+        let params = TraceParams {
+            workers: 4,
+            ..TraceParams::default()
+        };
+        let a = run(&params).unwrap();
+        let b = run(&params).unwrap();
+        assert_eq!(a.perfetto, b.perfetto);
+        assert_eq!(a.jsonl, b.jsonl);
+        assert_eq!(a.gantt, b.gantt);
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn trace_covers_every_layer() {
+        let params = TraceParams {
+            workers: 4,
+            ..TraceParams::default()
+        };
+        let out = run(&params).unwrap();
+        // Per-node tracks with container spans, named by task signature.
+        assert!(out.perfetto.contains("\"worker-0\""));
+        assert!(out.perfetto.contains("\"ph\":\"X\""));
+        assert!(out.perfetto.contains("mProject"));
+        // Scheduler audit log made it into both machine formats.
+        assert!(out.perfetto.contains("data-aware:select"));
+        assert!(out.jsonl.contains("\"type\":\"decision\""));
+        // Engine + HDFS + RM metrics land in the JSON-lines tail.
+        assert!(out.jsonl.contains("engine.steps"));
+        assert!(out.jsonl.contains("hdfs.reads_planned"));
+        assert!(out.jsonl.contains("rm.containers_allocated"));
+        // Fault instants at intensity 0.5.
+        assert!(out.jsonl.contains("\"cat\":\"fault\""));
+        // Gantt renders at least one worker timeline.
+        assert!(out.gantt.contains("== worker-0 =="));
+    }
+}

@@ -33,6 +33,7 @@ use rand::{Rng, SeedableRng};
 use hiway_hdfs::exec as hdfs_exec;
 use hiway_lang::trace::{FileEvent, TaskEvent};
 use hiway_lang::{TaskId, TaskSpec, WorkflowSource};
+use hiway_obs::{Tracer, TrackId};
 use hiway_provdb::ProvDb;
 use hiway_sim::{Activity, ActivityId, Completion, Endpoint, NodeId, SimTime};
 use hiway_yarn::{AppId, Container, ContainerId, ContainerRequest};
@@ -242,6 +243,10 @@ pub struct Runtime {
     /// Extra CPU charged to master nodes per cluster event, modelling
     /// NameNode/ResourceManager/AM bookkeeping (Figure 6's master load).
     pub master_overhead: Option<MasterOverhead>,
+    /// Observability sink shared with the engine, HDFS, and the RM.
+    tracer: Tracer,
+    /// Per-node trace tracks (same interned names as the engine's).
+    node_tracks: Vec<TrackId>,
 }
 
 /// Models the control plane's resource use on dedicated master nodes —
@@ -289,7 +294,29 @@ impl Runtime {
             heartbeat_secs: 1.0,
             stall_strikes: 0,
             master_overhead: None,
+            tracer: Tracer::disabled(),
+            node_tracks: Vec::new(),
         }
+    }
+
+    /// Attaches an observability sink to every layer of the deployment:
+    /// the engine (activity lifecycle), HDFS (block and locality
+    /// counters), the RM (allocation counters), and the driver itself
+    /// (task-attempt phase spans and the scheduler audit log). Call before
+    /// running; a disabled tracer keeps everything a no-op.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.cluster.engine.set_tracer(tracer);
+        self.cluster.hdfs.set_tracer(tracer);
+        self.cluster.rm.set_tracer(tracer);
+        self.node_tracks = self
+            .cluster
+            .engine
+            .spec()
+            .nodes
+            .iter()
+            .map(|n| tracer.track(&n.name))
+            .collect();
     }
 
     /// Submits a workflow; returns its index. The AM starts once YARN
@@ -649,6 +676,8 @@ impl Runtime {
             &candidates,
             &self.cluster.hdfs,
             &am.prov,
+            &self.tracer,
+            now,
         );
         // Late binding: an adaptive policy may decline a poorly placed
         // container and wait for a better one (bounded per task).
@@ -731,6 +760,24 @@ impl Runtime {
             am.ready_order.retain(|id| *id != task_id);
         }
         self.containers.insert(container.id, (wf, task_id, attempt));
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                self.node_tracks[container.node.index()],
+                &format!("attempt.launch:{}", self.ams[wf].tasks[&task_id].spec.name),
+                "driver",
+                now,
+                &[
+                    ("task", task_id.0.to_string()),
+                    ("attempt", attempt.to_string()),
+                    ("container", container.id.0.to_string()),
+                    ("speculative", speculative.to_string()),
+                ],
+            );
+            self.tracer.inc("driver.attempts_launched", 1);
+            if speculative {
+                self.tracer.inc("driver.speculative_attempts", 1);
+            }
+        }
         self.cluster.engine.set_timer_after(
             startup,
             Tag::ContainerStarted {
@@ -872,7 +919,9 @@ impl Runtime {
                         .iter()
                         .map(|n| n.name.clone())
                         .collect();
-                    am.scheduler.plan(&tasks, &nodes, &names, &am.prov);
+                    let now = self.cluster.engine.now().as_secs();
+                    am.scheduler
+                        .plan(&tasks, &nodes, &names, &am.prov, &self.tracer, now);
                     am.planned = true;
                 }
                 self.register_tasks(wf, tasks);
@@ -1253,6 +1302,21 @@ impl Runtime {
             let name = am.tasks[&task_id].spec.name.clone();
             am.prov
                 .record_attempt(task_id.0, &name, &node_name, outcome, wasted);
+            if self.tracer.is_enabled() {
+                self.tracer.instant(
+                    self.node_tracks[att.container.node.index()],
+                    &format!("attempt.cancelled:{name}"),
+                    "driver",
+                    now,
+                    &[
+                        ("task", task_id.0.to_string()),
+                        ("attempt", aid.to_string()),
+                        ("outcome", outcome.to_string()),
+                    ],
+                );
+                self.tracer.inc("driver.speculation_losers", 1);
+                self.tracer.observe("driver.wasted_secs", wasted);
+            }
         }
     }
 
@@ -1411,6 +1475,51 @@ impl Runtime {
                 stdout: format!("task {} ok", spec.name),
                 stderr: String::new(),
             };
+            // Phase breakdown of the winning attempt: localization covers
+            // container startup plus stage-in (up to the compute start),
+            // commit covers stage-out (from compute end to now).
+            let localize_secs = (att.t_exec_start - att.t_start).max(0.0);
+            let commit_secs = (now - task.t_exec_end).max(0.0);
+            if self.tracer.is_enabled() {
+                let track = self.node_tracks[container.node.index()];
+                let wait = (task.t_start - task.t_ready).max(0.0);
+                self.tracer.span(
+                    track,
+                    &spec.name,
+                    "container",
+                    att.t_start,
+                    now,
+                    &[
+                        ("task", task_id.0.to_string()),
+                        ("attempt", attempt.to_string()),
+                        ("wait_secs", format!("{wait:.6}")),
+                        ("localize_secs", format!("{localize_secs:.6}")),
+                        ("commit_secs", format!("{commit_secs:.6}")),
+                    ],
+                );
+                self.tracer.span(
+                    track,
+                    "phase:localize",
+                    "phase",
+                    att.t_start,
+                    att.t_exec_start,
+                    &[],
+                );
+                self.tracer.span(
+                    track,
+                    "phase:execute",
+                    "phase",
+                    att.t_exec_start,
+                    task.t_exec_end,
+                    &[],
+                );
+                self.tracer
+                    .span(track, "phase:commit", "phase", task.t_exec_end, now, &[]);
+                self.tracer.inc("driver.tasks_finished", 1);
+                self.tracer.observe("driver.wait_secs", wait);
+                self.tracer.observe("driver.localize_secs", localize_secs);
+                self.tracer.observe("driver.commit_secs", commit_secs);
+            }
             let report = TaskReport {
                 id: task_id,
                 name: spec.name.clone(),
@@ -1419,6 +1528,8 @@ impl Runtime {
                 t_start: task.t_start,
                 t_end: now,
                 attempts: task.attempts,
+                localize_secs,
+                commit_secs,
             };
             (container, event, report)
         };
@@ -1491,6 +1602,28 @@ impl Runtime {
         let name = task.spec.name.clone();
         am.prov
             .record_attempt(task_id.0, &name, &node_name, outcome, wasted);
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                self.node_tracks[node.index()],
+                &format!("attempt.failed:{name}"),
+                "driver",
+                now,
+                &[
+                    ("task", task_id.0.to_string()),
+                    ("attempt", attempt.to_string()),
+                    ("kind", outcome.to_string()),
+                    ("why", why.to_string()),
+                ],
+            );
+            self.tracer.inc(
+                match kind {
+                    FailureKind::Infra => "driver.infra_failures",
+                    FailureKind::Task => "driver.task_failures",
+                },
+                1,
+            );
+            self.tracer.observe("driver.wasted_secs", wasted);
+        }
 
         let task = self.ams[wf]
             .tasks

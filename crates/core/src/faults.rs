@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use hiway_obs::{Tracer, TrackId};
 use hiway_sim::{ActivityId, NodeId, SimTime};
 
 use crate::driver::Runtime;
@@ -232,6 +233,10 @@ pub struct FaultInjector {
     pub injected: Vec<(f64, String)>,
     /// Events skipped by safety rules (last worker, no containers, …).
     pub skipped: u32,
+    /// Observability sink: injected faults land as instants on a
+    /// dedicated "faults" track plus per-kind counters.
+    tracer: Tracer,
+    track: TrackId,
 }
 
 impl FaultInjector {
@@ -244,7 +249,38 @@ impl FaultInjector {
             stress: BTreeMap::new(),
             injected: Vec::new(),
             skipped: 0,
+            tracer: Tracer::disabled(),
+            track: TrackId::NONE,
         }
+    }
+
+    /// Attaches an observability sink (usually the same tracer the
+    /// [`Runtime`] carries). A disabled tracer keeps injection silent.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.track = tracer.track("faults");
+    }
+
+    /// Records one applied fault in both the experiment log and the trace.
+    fn note(&mut self, at: f64, kind: &'static str, desc: String) {
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                self.track,
+                &format!("fault:{kind}"),
+                "fault",
+                at,
+                &[("what", desc.clone())],
+            );
+            self.tracer.inc(&format!("fault.{kind}"), 1);
+            self.tracer.inc("fault.injected", 1);
+        }
+        self.injected.push((at, desc));
+    }
+
+    /// Records a fault suppressed by a safety rule.
+    fn skip(&mut self) {
+        self.skipped += 1;
+        self.tracer.inc("fault.skipped", 1);
     }
 
     /// Runs `rt` to completion, injecting the plan's events at their
@@ -274,7 +310,7 @@ impl FaultInjector {
         match ev.action {
             FaultAction::CrashNode(node) => {
                 if self.down.contains(&node) || self.standing_workers() <= 1 {
-                    self.skipped += 1;
+                    self.skip();
                     return;
                 }
                 // A crash also takes any straggler hogs down with it.
@@ -289,33 +325,38 @@ impl FaultInjector {
                     Ok(copies) => format!("{copies} block copies started"),
                     Err(e) => format!("data loss: {e}"),
                 };
-                self.injected
-                    .push((ev.at, format!("crash node {} ({lost})", node.0)));
+                self.note(
+                    ev.at,
+                    "crash_node",
+                    format!("crash node {} ({lost})", node.0),
+                );
             }
             FaultAction::RecoverNode(node) => {
                 if !self.down.remove(&node) {
-                    self.skipped += 1;
+                    self.skip();
                     return;
                 }
                 rt.recover_node(node);
                 // The fresh disk joins empty; refill it to the target
                 // replication factor in the background.
                 let _ = rt.cluster.try_re_replicate();
-                self.injected
-                    .push((ev.at, format!("recover node {}", node.0)));
+                self.note(ev.at, "recover_node", format!("recover node {}", node.0));
             }
             FaultAction::PreemptContainer { pick } => {
                 let live = rt.worker_containers();
                 if live.is_empty() {
-                    self.skipped += 1;
+                    self.skip();
                     return;
                 }
                 let victim = live[(pick % live.len() as u64) as usize];
                 if rt.preempt_container(victim) {
-                    self.injected
-                        .push((ev.at, format!("preempt container {}", victim.0)));
+                    self.note(
+                        ev.at,
+                        "preempt_container",
+                        format!("preempt container {}", victim.0),
+                    );
                 } else {
-                    self.skipped += 1;
+                    self.skip();
                 }
             }
             FaultAction::LoseDatanode(node) => {
@@ -323,7 +364,7 @@ impl FaultInjector {
                     || !rt.cluster.hdfs.is_alive(node)
                     || rt.cluster.hdfs.alive_count() <= 1
                 {
-                    self.skipped += 1;
+                    self.skip();
                     return;
                 }
                 rt.cluster
@@ -334,38 +375,50 @@ impl FaultInjector {
                     Ok(copies) => format!("{copies} block copies started"),
                     Err(e) => format!("data loss: {e}"),
                 };
-                self.injected
-                    .push((ev.at, format!("lose datanode {} ({lost})", node.0)));
+                self.note(
+                    ev.at,
+                    "lose_datanode",
+                    format!("lose datanode {} ({lost})", node.0),
+                );
             }
             FaultAction::RestoreDatanode(node) => {
                 if self.down.contains(&node) || rt.cluster.hdfs.is_alive(node) {
-                    self.skipped += 1;
+                    self.skip();
                     return;
                 }
                 rt.cluster.hdfs.revive_node(node).expect("known node");
                 let _ = rt.cluster.try_re_replicate();
-                self.injected
-                    .push((ev.at, format!("restore datanode {}", node.0)));
+                self.note(
+                    ev.at,
+                    "restore_datanode",
+                    format!("restore datanode {}", node.0),
+                );
             }
             FaultAction::StragglerStart { node, procs } => {
                 if self.down.contains(&node) || self.stress.contains_key(&node) {
-                    self.skipped += 1;
+                    self.skip();
                     return;
                 }
                 let ids = rt.cluster.add_cpu_stress(node, procs);
                 self.stress.insert(node, ids);
-                self.injected
-                    .push((ev.at, format!("straggle node {} x{procs}", node.0)));
+                self.note(
+                    ev.at,
+                    "straggler_start",
+                    format!("straggle node {} x{procs}", node.0),
+                );
             }
             FaultAction::StragglerEnd(node) => match self.stress.remove(&node) {
                 Some(ids) => {
                     for id in ids {
                         rt.cluster.engine.cancel(id);
                     }
-                    self.injected
-                        .push((ev.at, format!("unstraggle node {}", node.0)));
+                    self.note(
+                        ev.at,
+                        "straggler_end",
+                        format!("unstraggle node {}", node.0),
+                    );
                 }
-                None => self.skipped += 1,
+                None => self.skip(),
             },
         }
     }

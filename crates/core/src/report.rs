@@ -17,11 +17,30 @@ pub struct TaskReport {
     /// When its outputs were committed to HDFS.
     pub t_end: f64,
     pub attempts: u32,
+    /// Seconds the winning attempt spent localizing — container startup
+    /// plus obtaining its input data from HDFS, before the tool ran.
+    pub localize_secs: f64,
+    /// Seconds the winning attempt spent committing — writing outputs
+    /// back to HDFS after the tool finished.
+    pub commit_secs: f64,
 }
 
 impl TaskReport {
     pub fn makespan(&self) -> f64 {
         (self.t_end - self.t_start).max(0.0)
+    }
+
+    /// Queue wait: seconds between the task's dependencies being met and
+    /// its winning container starting (clamped at zero — a speculative
+    /// winner's container can start before a retry re-readies the task).
+    pub fn wait_secs(&self) -> f64 {
+        (self.t_start - self.t_ready).max(0.0)
+    }
+
+    /// Seconds the tool itself executed (makespan minus the localize and
+    /// commit phases, clamped at zero).
+    pub fn exec_secs(&self) -> f64 {
+        (self.makespan() - self.localize_secs - self.commit_secs).max(0.0)
     }
 }
 
@@ -94,6 +113,8 @@ mod tests {
                     t_start: 61.0,
                     t_end: 100.0,
                     attempts: 1,
+                    localize_secs: 4.0,
+                    commit_secs: 5.0,
                 },
                 TaskReport {
                     id: TaskId(1),
@@ -103,6 +124,8 @@ mod tests {
                     t_start: 61.0,
                     t_end: 90.0,
                     attempts: 2,
+                    localize_secs: 0.0,
+                    commit_secs: 0.0,
                 },
             ],
             trace: String::new(),
@@ -115,6 +138,26 @@ mod tests {
         assert_eq!(r.runtime_secs(), 180.0);
         assert_eq!(r.runtime_mins(), 3.0);
         assert_eq!(r.tasks[0].makespan(), 39.0);
+        assert_eq!(r.tasks[0].wait_secs(), 1.0);
+        assert_eq!(r.tasks[0].exec_secs(), 30.0);
         assert_eq!(r.task_histogram(), vec![("a".to_string(), 2)]);
+    }
+
+    #[test]
+    fn wait_secs_clamps_at_zero() {
+        let t = TaskReport {
+            id: TaskId(0),
+            name: "a".into(),
+            node: "w0".into(),
+            // A speculative winner whose container predates the re-ready.
+            t_ready: 50.0,
+            t_start: 40.0,
+            t_end: 45.0,
+            attempts: 2,
+            localize_secs: 10.0,
+            commit_secs: 10.0,
+        };
+        assert_eq!(t.wait_secs(), 0.0);
+        assert_eq!(t.exec_secs(), 0.0);
     }
 }

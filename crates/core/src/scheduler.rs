@@ -23,6 +23,7 @@ use std::collections::HashMap;
 
 use hiway_hdfs::Hdfs;
 use hiway_lang::{TaskId, TaskSpec};
+use hiway_obs::{CandidateScore, Decision, DecisionKind, Tracer};
 use hiway_sim::NodeId;
 use hiway_yarn::{ContainerRequest, Resource};
 
@@ -40,6 +41,8 @@ pub trait Scheduler {
         nodes: &[NodeId],
         node_names: &[String],
         prov: &ProvenanceManager,
+        tracer: &Tracer,
+        now: f64,
     );
 
     /// Shapes the container request for a task whose dependencies are met.
@@ -55,7 +58,10 @@ pub trait Scheduler {
     ) -> Option<TaskId>;
 
     /// Dynamic adaptive policies re-select with fresh statistics; the
-    /// driver calls this variant (default: ignore the statistics).
+    /// driver calls this variant (default: ignore the statistics). Every
+    /// policy overrides it to write the audit log: one [`Decision`] per
+    /// container, scoring each candidate in the policy's own terms.
+    #[allow(clippy::too_many_arguments)]
     fn select_task_with_stats(
         &mut self,
         node: NodeId,
@@ -63,8 +69,10 @@ pub trait Scheduler {
         candidates: &[&TaskSpec],
         hdfs: &Hdfs,
         _prov: &ProvenanceManager,
+        tracer: &Tracer,
+        now: f64,
     ) -> Option<TaskId> {
-        let _ = node_name;
+        let _ = (node_name, tracer, now);
         self.select_task(node, candidates, hdfs)
     }
 
@@ -99,7 +107,16 @@ pub fn make_scheduler(policy: SchedulerPolicy) -> Box<dyn Scheduler> {
 pub struct FcfsScheduler;
 
 impl Scheduler for FcfsScheduler {
-    fn plan(&mut self, _: &[TaskSpec], _: &[NodeId], _: &[String], _: &ProvenanceManager) {}
+    fn plan(
+        &mut self,
+        _: &[TaskSpec],
+        _: &[NodeId],
+        _: &[String],
+        _: &ProvenanceManager,
+        _: &Tracer,
+        _: f64,
+    ) {
+    }
 
     fn container_request(&self, _task: &TaskSpec, resource: Resource) -> ContainerRequest {
         ContainerRequest::anywhere(resource)
@@ -114,6 +131,42 @@ impl Scheduler for FcfsScheduler {
         candidates.first().map(|t| t.id)
     }
 
+    #[allow(clippy::too_many_arguments)]
+    fn select_task_with_stats(
+        &mut self,
+        node: NodeId,
+        node_name: &str,
+        candidates: &[&TaskSpec],
+        hdfs: &Hdfs,
+        _prov: &ProvenanceManager,
+        tracer: &Tracer,
+        now: f64,
+    ) -> Option<TaskId> {
+        let winner = self.select_task(node, candidates, hdfs);
+        if tracer.is_enabled() {
+            tracer.audit(Decision {
+                t: now,
+                policy: SchedulerPolicy::Fcfs.name(),
+                kind: DecisionKind::Select,
+                node: node.0,
+                node_name: node_name.to_string(),
+                candidates: candidates
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| CandidateScore {
+                        task: t.id.0,
+                        label: t.name.clone(),
+                        score: i as f64,
+                        detail: format!("queue position {i}"),
+                    })
+                    .collect(),
+                winner: winner.map(|id| id.0),
+                reason: "head of the ready queue (lowest queue position wins)".into(),
+            });
+        }
+        winner
+    }
+
     fn policy(&self) -> SchedulerPolicy {
         SchedulerPolicy::Fcfs
     }
@@ -122,8 +175,47 @@ impl Scheduler for FcfsScheduler {
 /// Data-aware (the default).
 pub struct DataAwareScheduler;
 
+impl DataAwareScheduler {
+    /// Locality fraction per candidate, in readiness order. On a dead
+    /// DataNode every fraction is zero (liveness is invariant across
+    /// candidates), and the tie-break degenerates to FCFS.
+    fn fractions(node: NodeId, candidates: &[&TaskSpec], hdfs: &Hdfs) -> Vec<(TaskId, f64)> {
+        let alive = hdfs.is_alive(node);
+        candidates
+            .iter()
+            .map(|t| {
+                let frac = if alive {
+                    hdfs.locality_fraction(&t.inputs, node)
+                } else {
+                    0.0
+                };
+                (t.id, frac)
+            })
+            .collect()
+    }
+
+    fn pick(scored: &[(TaskId, f64)]) -> Option<TaskId> {
+        scored
+            .iter()
+            // max_by prefers later elements on ties; iterate reversed so
+            // ties resolve to the *earliest* ready task (FCFS within ties).
+            .rev()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("fractions are finite"))
+            .map(|(id, _)| *id)
+    }
+}
+
 impl Scheduler for DataAwareScheduler {
-    fn plan(&mut self, _: &[TaskSpec], _: &[NodeId], _: &[String], _: &ProvenanceManager) {}
+    fn plan(
+        &mut self,
+        _: &[TaskSpec],
+        _: &[NodeId],
+        _: &[String],
+        _: &ProvenanceManager,
+        _: &Tracer,
+        _: f64,
+    ) {
+    }
 
     fn container_request(&self, _task: &TaskSpec, resource: Resource) -> ContainerRequest {
         ContainerRequest::anywhere(resource)
@@ -135,22 +227,51 @@ impl Scheduler for DataAwareScheduler {
         candidates: &[&TaskSpec],
         hdfs: &Hdfs,
     ) -> Option<TaskId> {
-        // Liveness is invariant across candidates: on a dead DataNode every
-        // fraction is zero, and the tie-break degenerates to FCFS.
-        if !hdfs.is_alive(node) {
-            return candidates.first().map(|t| t.id);
+        Self::pick(&Self::fractions(node, candidates, hdfs))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn select_task_with_stats(
+        &mut self,
+        node: NodeId,
+        node_name: &str,
+        candidates: &[&TaskSpec],
+        hdfs: &Hdfs,
+        _prov: &ProvenanceManager,
+        tracer: &Tracer,
+        now: f64,
+    ) -> Option<TaskId> {
+        let scored = Self::fractions(node, candidates, hdfs);
+        let winner = Self::pick(&scored);
+        if tracer.is_enabled() {
+            let alive = hdfs.is_alive(node);
+            tracer.audit(Decision {
+                t: now,
+                policy: SchedulerPolicy::DataAware.name(),
+                kind: DecisionKind::Select,
+                node: node.0,
+                node_name: node_name.to_string(),
+                candidates: candidates
+                    .iter()
+                    .zip(&scored)
+                    .map(|(t, (_, frac))| CandidateScore {
+                        task: t.id.0,
+                        label: t.name.clone(),
+                        score: *frac,
+                        detail: format!("locality fraction {frac:.3} on {node_name}"),
+                    })
+                    .collect(),
+                winner: winner.map(|id| id.0),
+                reason: if alive {
+                    "highest fraction of input data local to the container's node \
+                     (ties fall back to FCFS order)"
+                        .into()
+                } else {
+                    "node's DataNode is down: all fractions zero, FCFS fallback".into()
+                },
+            });
         }
-        candidates
-            .iter()
-            .map(|t| {
-                let frac = hdfs.locality_fraction(&t.inputs, node);
-                (t.id, frac)
-            })
-            // max_by prefers later elements on ties; iterate reversed so
-            // ties resolve to the *earliest* ready task (FCFS within ties).
-            .rev()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("fractions are finite"))
-            .map(|(id, _)| id)
+        winner
     }
 
     fn policy(&self) -> SchedulerPolicy {
@@ -179,9 +300,42 @@ impl StaticScheduler {
         self.assignment.get(&task).copied()
     }
 
-    fn plan_round_robin(&mut self, tasks: &[TaskSpec], nodes: &[NodeId]) {
+    fn plan_round_robin(
+        &mut self,
+        tasks: &[TaskSpec],
+        nodes: &[NodeId],
+        node_names: &[String],
+        tracer: &Tracer,
+        now: f64,
+    ) {
+        let n = nodes.len();
+        let mut planned = vec![0usize; n];
         for (i, t) in tasks.iter().enumerate() {
-            self.assignment.insert(t.id, nodes[i % nodes.len()]);
+            let slot = i % n;
+            let node = nodes[slot];
+            self.assignment.insert(t.id, node);
+            if tracer.is_enabled() {
+                tracer.audit(Decision {
+                    t: now,
+                    policy: SchedulerPolicy::RoundRobin.name(),
+                    kind: DecisionKind::Plan,
+                    node: node.0,
+                    node_name: node_names[node.index()].clone(),
+                    candidates: nodes
+                        .iter()
+                        .enumerate()
+                        .map(|(ni, cand)| CandidateScore {
+                            task: t.id.0,
+                            label: node_names[cand.index()].clone(),
+                            score: planned[ni] as f64,
+                            detail: format!("{} tasks already planned here", planned[ni]),
+                        })
+                        .collect(),
+                    winner: Some(t.id.0),
+                    reason: format!("round-robin: task #{i} takes slot {slot} of {n}"),
+                });
+            }
+            planned[slot] += 1;
         }
     }
 
@@ -198,6 +352,8 @@ impl StaticScheduler {
         nodes: &[NodeId],
         node_names: &[String],
         prov: &ProvenanceManager,
+        tracer: &Tracer,
+        now: f64,
     ) {
         let n = nodes.len();
         let idx_of: HashMap<TaskId, usize> =
@@ -276,8 +432,20 @@ impl StaticScheduler {
         for &ti in &order {
             let data_ready = parents[ti].iter().map(|&p| finish[p]).fold(0.0, f64::max);
             let mut best: Option<(usize, f64)> = None;
+            let mut audit = tracer.is_enabled().then(Vec::new);
             for ni in 0..n {
                 let eft = node_ready[ni].max(data_ready) + w[ti][ni];
+                if let Some(cands) = audit.as_mut() {
+                    cands.push(CandidateScore {
+                        task: tasks[ti].id.0,
+                        label: node_names[nodes[ni].index()].clone(),
+                        score: eft,
+                        detail: format!(
+                            "EFT {:.3}s = max(node ready {:.3}, data ready {:.3}) + est {:.3}",
+                            eft, node_ready[ni], data_ready, w[ti][ni]
+                        ),
+                    });
+                }
                 let better = match best {
                     None => true,
                     Some((bni, beft)) => {
@@ -291,6 +459,21 @@ impl StaticScheduler {
             }
             let (ni, eft) = best.expect("at least one node");
             self.assignment.insert(tasks[ti].id, nodes[ni]);
+            if let Some(cands) = audit {
+                tracer.audit(Decision {
+                    t: now,
+                    policy: SchedulerPolicy::Heft.name(),
+                    kind: DecisionKind::Plan,
+                    node: nodes[ni].0,
+                    node_name: node_names[nodes[ni].index()].clone(),
+                    candidates: cands,
+                    winner: Some(tasks[ti].id.0),
+                    reason: format!(
+                        "earliest finish time (upward rank {:.3}; load breaks EFT ties)",
+                        rank[ti]
+                    ),
+                });
+            }
             node_ready[ni] = eft;
             node_load[ni] += 1;
             finish[ti] = eft;
@@ -306,11 +489,15 @@ impl Scheduler for StaticScheduler {
         nodes: &[NodeId],
         node_names: &[String],
         prov: &ProvenanceManager,
+        tracer: &Tracer,
+        now: f64,
     ) {
         assert!(!nodes.is_empty(), "cannot plan on an empty cluster");
         match self.policy {
-            SchedulerPolicy::RoundRobin => self.plan_round_robin(tasks, nodes),
-            SchedulerPolicy::Heft => self.plan_heft(tasks, nodes, node_names, prov),
+            SchedulerPolicy::RoundRobin => {
+                self.plan_round_robin(tasks, nodes, node_names, tracer, now)
+            }
+            SchedulerPolicy::Heft => self.plan_heft(tasks, nodes, node_names, prov, tracer, now),
             _ => unreachable!("dynamic policy in StaticScheduler"),
         }
     }
@@ -341,6 +528,50 @@ impl Scheduler for StaticScheduler {
             .map(|t| t.id)
     }
 
+    #[allow(clippy::too_many_arguments)]
+    fn select_task_with_stats(
+        &mut self,
+        node: NodeId,
+        node_name: &str,
+        candidates: &[&TaskSpec],
+        hdfs: &Hdfs,
+        _prov: &ProvenanceManager,
+        tracer: &Tracer,
+        now: f64,
+    ) -> Option<TaskId> {
+        let winner = self.select_task(node, candidates, hdfs);
+        if tracer.is_enabled() {
+            tracer.audit(Decision {
+                t: now,
+                policy: self.policy.name(),
+                kind: DecisionKind::Select,
+                node: node.0,
+                node_name: node_name.to_string(),
+                candidates: candidates
+                    .iter()
+                    .map(|t| {
+                        let (score, detail) = match self.assignment.get(&t.id) {
+                            Some(&a) if a == node => (1.0, format!("planned for {node_name}")),
+                            Some(&a) => (0.0, format!("planned for node {}", a.0)),
+                            None => (0.5, "outside the static plan".into()),
+                        };
+                        CandidateScore {
+                            task: t.id.0,
+                            label: t.name.clone(),
+                            score,
+                            detail,
+                        }
+                    })
+                    .collect(),
+                winner: winner.map(|id| id.0),
+                reason: "static plan confirmation: the task pre-assigned to this node \
+                         (unplanned tasks fill spare containers)"
+                    .into(),
+            });
+        }
+        winner
+    }
+
     fn policy(&self) -> SchedulerPolicy {
         self.policy
     }
@@ -357,7 +588,16 @@ impl Scheduler for StaticScheduler {
 pub struct AdaptiveScheduler;
 
 impl Scheduler for AdaptiveScheduler {
-    fn plan(&mut self, _: &[TaskSpec], _: &[NodeId], _: &[String], _: &ProvenanceManager) {}
+    fn plan(
+        &mut self,
+        _: &[TaskSpec],
+        _: &[NodeId],
+        _: &[String],
+        _: &ProvenanceManager,
+        _: &Tracer,
+        _: f64,
+    ) {
+    }
 
     fn container_request(&self, _task: &TaskSpec, resource: Resource) -> ContainerRequest {
         ContainerRequest::anywhere(resource)
@@ -372,6 +612,7 @@ impl Scheduler for AdaptiveScheduler {
         candidates.first().map(|t| t.id)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn select_task_with_stats(
         &mut self,
         node: NodeId,
@@ -379,6 +620,8 @@ impl Scheduler for AdaptiveScheduler {
         candidates: &[&TaskSpec],
         hdfs: &Hdfs,
         prov: &ProvenanceManager,
+        tracer: &Tracer,
+        now: f64,
     ) -> Option<TaskId> {
         // Relative fitness of running `t` here: how does this node's
         // latest observation compare to the estimate of placing the task
@@ -398,7 +641,7 @@ impl Scheduler for AdaptiveScheduler {
         // Hoisted liveness check: locality on a dead node is uniformly
         // zero, so skip the per-candidate block scans entirely.
         let node_alive = hdfs.is_alive(node);
-        candidates
+        let scored: Vec<(TaskId, f64, f64)> = candidates
             .iter()
             .map(|t| {
                 (
@@ -412,6 +655,9 @@ impl Scheduler for AdaptiveScheduler {
                     },
                 )
             })
+            .collect();
+        let winner = scored
+            .iter()
             // Earliest-ready wins remaining ties (stable min by rev+min_by).
             .rev()
             .min_by(|(_, s1, l1), (_, s2, l2)| {
@@ -419,7 +665,35 @@ impl Scheduler for AdaptiveScheduler {
                     .expect("scores are finite")
                     .then(l1.partial_cmp(l2).expect("fractions are finite"))
             })
-            .map(|(id, _, _)| id)
+            .map(|(id, _, _)| *id);
+        if tracer.is_enabled() {
+            tracer.audit(Decision {
+                t: now,
+                policy: SchedulerPolicy::Adaptive.name(),
+                kind: DecisionKind::Select,
+                node: node.0,
+                node_name: node_name.to_string(),
+                candidates: candidates
+                    .iter()
+                    .zip(&scored)
+                    .map(|(t, (_, fitness, neg_local))| CandidateScore {
+                        task: t.id.0,
+                        label: t.name.clone(),
+                        score: *fitness,
+                        detail: format!(
+                            "relative fitness {:.3} (latest here / cross-node avg; \
+                             0 = unexplored), locality {:.3}",
+                            fitness, -neg_local
+                        ),
+                    })
+                    .collect(),
+                winner: winner.map(|id| id.0),
+                reason: "lowest relative fitness wins (ties: higher locality, then \
+                         FCFS order)"
+                    .into(),
+            });
+        }
+        winner
     }
 
     fn decline(
@@ -543,7 +817,7 @@ mod tests {
         let tasks: Vec<TaskSpec> = (0..6).map(|i| task(i, "t", &[], &[])).collect();
         let nodes = vec![NodeId(0), NodeId(1), NodeId(2)];
         let prov = ProvenanceManager::new(ProvDb::new());
-        s.plan(&tasks, &nodes, &names(3), &prov);
+        s.plan(&tasks, &nodes, &names(3), &prov, &Tracer::disabled(), 0.0);
         let mut counts = [0usize; 3];
         for t in &tasks {
             counts[s.assigned_node(t.id).unwrap().index()] += 1;
@@ -564,7 +838,7 @@ mod tests {
         let tasks: Vec<TaskSpec> = (0..4).map(|i| task(i, "t", &[], &[])).collect();
         let nodes = vec![NodeId(0), NodeId(1)];
         let prov = ProvenanceManager::new(ProvDb::new());
-        s.plan(&tasks, &nodes, &names(2), &prov);
+        s.plan(&tasks, &nodes, &names(2), &prov, &Tracer::disabled(), 0.0);
         let mut counts = [0usize; 2];
         for t in &tasks {
             counts[s.assigned_node(t.id).unwrap().index()] += 1;
@@ -582,12 +856,185 @@ mod tests {
         let mut s = StaticScheduler::new(SchedulerPolicy::Heft);
         let tasks: Vec<TaskSpec> = (0..4).map(|i| task(i, "t", &[], &[])).collect();
         let nodes = vec![NodeId(0), NodeId(1)];
-        s.plan(&tasks, &nodes, &names(2), &prov);
+        s.plan(&tasks, &nodes, &names(2), &prov, &Tracer::disabled(), 0.0);
         // EFTs: placing everything on w0 serially (10,20,30,40) beats
         // w1's 100 each time.
         for t in &tasks {
             assert_eq!(s.assigned_node(t.id), Some(NodeId(0)));
         }
+    }
+
+    #[test]
+    fn fcfs_audit_matches_placement() {
+        let tracer = Tracer::enabled();
+        let mut s = FcfsScheduler;
+        let (a, b) = (task(0, "a", &[], &[]), task(1, "b", &[], &[]));
+        let hdfs = Hdfs::new(2, Default::default(), 0);
+        let prov = ProvenanceManager::new(ProvDb::new());
+        let picked =
+            s.select_task_with_stats(NodeId(1), "w1", &[&a, &b], &hdfs, &prov, &tracer, 7.5);
+        assert_eq!(picked, Some(TaskId(0)));
+        tracer.with_decisions(|ds| {
+            assert_eq!(ds.len(), 1);
+            let d = &ds[0];
+            assert_eq!(d.policy, "fcfs");
+            assert_eq!(d.kind, DecisionKind::Select);
+            assert_eq!(d.t, 7.5);
+            assert_eq!((d.node, d.node_name.as_str()), (1, "w1"));
+            assert_eq!(d.winner, Some(0));
+            // Scores are queue positions; the winner holds position 0.
+            assert_eq!(d.candidates.len(), 2);
+            assert_eq!(d.winning_candidate().unwrap().score, 0.0);
+            assert_eq!(d.candidates[1].score, 1.0);
+        });
+    }
+
+    #[test]
+    fn data_aware_audit_matches_placement() {
+        let config = hiway_hdfs::HdfsConfig {
+            replication: 1,
+            ..Default::default()
+        };
+        let mut hdfs = Hdfs::new(4, config, 3);
+        hdfs.create("/big0", 100 << 20, NodeId(0)).unwrap();
+        hdfs.create("/big2", 100 << 20, NodeId(2)).unwrap();
+        let t0 = task(0, "t", &["/big0"], &["/o0"]);
+        let t2 = task(1, "t", &["/big2"], &["/o2"]);
+        let tracer = Tracer::enabled();
+        let prov = ProvenanceManager::new(ProvDb::new());
+        let mut s = DataAwareScheduler;
+        let picked =
+            s.select_task_with_stats(NodeId(2), "w2", &[&t0, &t2], &hdfs, &prov, &tracer, 1.0);
+        assert_eq!(picked, Some(TaskId(1)));
+        tracer.with_decisions(|ds| {
+            let d = &ds[0];
+            assert_eq!(d.policy, "data-aware");
+            assert_eq!(d.winner, Some(1));
+            // The logged fractions explain the pick: the winner's locality
+            // strictly exceeds every rival's.
+            let win = d.winning_candidate().unwrap().score;
+            assert_eq!(win, 1.0);
+            for c in d.candidates.iter().filter(|c| c.task != 1) {
+                assert!(c.score < win, "{} !< {}", c.score, win);
+            }
+        });
+    }
+
+    #[test]
+    fn round_robin_plan_audit_matches_assignment() {
+        let tracer = Tracer::enabled();
+        let mut s = StaticScheduler::new(SchedulerPolicy::RoundRobin);
+        let tasks: Vec<TaskSpec> = (0..6).map(|i| task(i, "t", &[], &[])).collect();
+        let nodes = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let prov = ProvenanceManager::new(ProvDb::new());
+        s.plan(&tasks, &nodes, &names(3), &prov, &tracer, 0.0);
+        tracer.with_decisions(|ds| {
+            assert_eq!(ds.len(), 6, "one plan decision per task");
+            for (i, d) in ds.iter().enumerate() {
+                assert_eq!(d.policy, "round-robin");
+                assert_eq!(d.kind, DecisionKind::Plan);
+                assert_eq!(d.winner, Some(i as u64));
+                // The audited node is the node actually assigned.
+                let assigned = s.assigned_node(TaskId(i as u64)).unwrap();
+                assert_eq!(d.node, assigned.0);
+                assert_eq!(d.candidates.len(), 3, "all nodes scored");
+            }
+        });
+    }
+
+    #[test]
+    fn heft_plan_audit_matches_assignment() {
+        let mut prov = ProvenanceManager::new(ProvDb::new());
+        record(&mut prov, "t", "w0", 10.0);
+        record(&mut prov, "t", "w1", 100.0);
+        let tracer = Tracer::enabled();
+        let mut s = StaticScheduler::new(SchedulerPolicy::Heft);
+        let tasks: Vec<TaskSpec> = (0..4).map(|i| task(i, "t", &[], &[])).collect();
+        let nodes = vec![NodeId(0), NodeId(1)];
+        s.plan(&tasks, &nodes, &names(2), &prov, &tracer, 0.0);
+        tracer.with_decisions(|ds| {
+            assert_eq!(ds.len(), 4);
+            for d in ds {
+                assert_eq!(d.policy, "heft");
+                assert_eq!(d.kind, DecisionKind::Plan);
+                let winner = d.winner.unwrap();
+                // Audit agrees with the actual plan...
+                assert_eq!(d.node, s.assigned_node(TaskId(winner)).unwrap().0);
+                // ...and the chosen node has the minimum logged EFT.
+                let chosen = d
+                    .candidates
+                    .iter()
+                    .find(|c| c.label == d.node_name)
+                    .expect("winner node is scored");
+                for c in &d.candidates {
+                    assert!(chosen.score <= c.score + 1e-12);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn static_select_confirmation_is_audited() {
+        let tracer = Tracer::enabled();
+        let mut s = StaticScheduler::new(SchedulerPolicy::RoundRobin);
+        let tasks: Vec<TaskSpec> = (0..2).map(|i| task(i, "t", &[], &[])).collect();
+        let nodes = vec![NodeId(0), NodeId(1)];
+        let prov = ProvenanceManager::new(ProvDb::new());
+        s.plan(&tasks, &nodes, &names(2), &prov, &Tracer::disabled(), 0.0);
+        let hdfs = Hdfs::new(2, Default::default(), 0);
+        let refs: Vec<&TaskSpec> = tasks.iter().collect();
+        let picked = s.select_task_with_stats(NodeId(1), "w1", &refs, &hdfs, &prov, &tracer, 3.0);
+        assert_eq!(picked, Some(TaskId(1)));
+        tracer.with_decisions(|ds| {
+            let d = &ds[0];
+            assert_eq!(d.kind, DecisionKind::Select);
+            assert_eq!(d.winner, Some(1));
+            // Planned-here candidates score 1, elsewhere 0.
+            assert_eq!(d.winning_candidate().unwrap().score, 1.0);
+            assert_eq!(
+                d.candidates.iter().find(|c| c.task == 0).unwrap().score,
+                0.0
+            );
+        });
+    }
+
+    #[test]
+    fn adaptive_audit_matches_placement() {
+        let mut prov = ProvenanceManager::new(ProvDb::new());
+        // "slow" is 3x worse on w0 than its average; "fast" is better
+        // than average here — the adaptive policy must prefer "fast".
+        record(&mut prov, "slow", "w0", 300.0);
+        record(&mut prov, "slow", "w1", 100.0);
+        record(&mut prov, "fast", "w0", 50.0);
+        record(&mut prov, "fast", "w1", 100.0);
+        let hdfs = Hdfs::new(2, Default::default(), 0);
+        let slow = task(0, "slow", &[], &[]);
+        let fast = task(1, "fast", &[], &[]);
+        let tracer = Tracer::enabled();
+        let mut s = AdaptiveScheduler;
+        let picked =
+            s.select_task_with_stats(NodeId(0), "w0", &[&slow, &fast], &hdfs, &prov, &tracer, 2.0);
+        assert_eq!(picked, Some(TaskId(1)));
+        tracer.with_decisions(|ds| {
+            let d = &ds[0];
+            assert_eq!(d.policy, "adaptive");
+            assert_eq!(d.winner, Some(1));
+            // Lower relative fitness wins; the log shows exactly that.
+            let win = d.winning_candidate().unwrap().score;
+            let lose = d.candidates.iter().find(|c| c.task == 0).unwrap().score;
+            assert!(win < lose, "{win} !< {lose}");
+        });
+    }
+
+    #[test]
+    fn disabled_tracer_logs_no_decisions() {
+        let tracer = Tracer::disabled();
+        let mut s = FcfsScheduler;
+        let a = task(0, "a", &[], &[]);
+        let hdfs = Hdfs::new(1, Default::default(), 0);
+        let prov = ProvenanceManager::new(ProvDb::new());
+        s.select_task_with_stats(NodeId(0), "w0", &[&a], &hdfs, &prov, &tracer, 0.0);
+        assert_eq!(tracer.decision_count(), 0);
     }
 
     #[test]
@@ -608,7 +1055,7 @@ mod tests {
         ];
         let nodes = vec![NodeId(0), NodeId(1)];
         let mut s = StaticScheduler::new(SchedulerPolicy::Heft);
-        s.plan(&tasks, &nodes, &names(2), &prov);
+        s.plan(&tasks, &nodes, &names(2), &prov, &Tracer::disabled(), 0.0);
         // `long` has the highest upward rank (101) and is placed first on
         // an empty node; `short` lands on the other node.
         let long_node = s.assigned_node(TaskId(1)).unwrap();

@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use hiway_obs::Tracer;
 use hiway_sim::NodeId;
 
 use crate::error::HdfsError;
@@ -75,6 +76,9 @@ pub struct Hdfs {
     /// rescanning every block list (O(files × blocks × replicas)) on each
     /// container allocation.
     locality_cache: RefCell<HashMap<LocalityKey, LocalityEntry>>,
+    /// Observability sink (disabled by default): block read/write volumes
+    /// and locality-cache hit/miss counters.
+    tracer: Tracer,
 }
 
 impl Hdfs {
@@ -89,7 +93,13 @@ impl Hdfs {
             rng: StdRng::seed_from_u64(seed),
             epoch: 0,
             locality_cache: RefCell::new(HashMap::new()),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches an observability tracer (shared with the other layers).
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Current mutation epoch (exposed for cache-behaviour tests).
@@ -226,6 +236,13 @@ impl Hdfs {
             }
         }
 
+        if self.tracer.is_enabled() {
+            self.tracer.inc("hdfs.files_created", 1);
+            self.tracer.inc("hdfs.blocks_written", blocks.len() as u64);
+            self.tracer.inc("hdfs.bytes_written", size);
+            self.tracer
+                .observe("hdfs.write_mb", size as f64 / (1 << 20) as f64);
+        }
         self.files
             .insert(path.to_string(), FileMeta { size, blocks });
         self.bump_epoch();
@@ -266,6 +283,12 @@ impl Hdfs {
                 let src = alive_replicas[self.rng.gen_range(0..alive_replicas.len())];
                 *per_remote.entry(src.0).or_default() += block.size;
             }
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.inc("hdfs.reads_planned", 1);
+            self.tracer.inc("hdfs.bytes_read_local", local);
+            self.tracer
+                .inc("hdfs.bytes_read_remote", per_remote.values().sum::<u64>());
         }
         let mut segments = Vec::new();
         if local > 0 {
@@ -314,9 +337,11 @@ impl Hdfs {
         let key = (paths.join("\u{1f}"), node.0);
         if let Some(&(epoch, local, total)) = self.locality_cache.borrow().get(&key) {
             if epoch == self.epoch {
+                self.tracer.inc("hdfs.locality_cache_hit", 1);
                 return (local, total);
             }
         }
+        self.tracer.inc("hdfs.locality_cache_miss", 1);
         // The query node's liveness is invariant across the scan: hoist it
         // out of the per-block loop (a dead node holds nothing locally).
         let node_alive = node.index() < self.alive.len() && self.alive[node.index()];
@@ -449,10 +474,18 @@ impl Hdfs {
             }
         }
         self.bump_epoch();
-        Ok(copies
+        let out: Vec<(NodeId, NodeId, u64)> = copies
             .into_iter()
             .map(|((s, d), b)| (NodeId(s), NodeId(d), b))
-            .collect())
+            .collect();
+        if self.tracer.is_enabled() && !out.is_empty() {
+            self.tracer.inc("hdfs.re_replications", 1);
+            self.tracer.inc(
+                "hdfs.re_replicated_bytes",
+                out.iter().map(|(_, _, b)| *b).sum::<u64>(),
+            );
+        }
+        Ok(out)
     }
 
     /// Paths currently in the namespace (sorted).
@@ -694,6 +727,30 @@ mod tests {
         assert!(!st.blocks[0].replicas.contains(&NodeId(0)));
         assert!(h.is_alive(NodeId(0)));
         assert_eq!(h.used_on(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn tracer_counts_cache_hits_reads_and_writes() {
+        let mut h = fs(4);
+        let tracer = Tracer::enabled();
+        h.set_tracer(&tracer);
+        h.create("/a", 64 << 20, NodeId(0)).unwrap();
+        let paths = vec!["/a".to_string()];
+        h.locality_fraction(&paths, NodeId(0)); // miss (first query)
+        h.locality_fraction(&paths, NodeId(0)); // hit (same epoch)
+        h.delete("/a").unwrap();
+        h.locality_fraction(&paths, NodeId(0)); // miss (epoch bumped)
+        assert_eq!(tracer.counter_value("hdfs.locality_cache_hit"), 1);
+        assert_eq!(tracer.counter_value("hdfs.locality_cache_miss"), 2);
+        assert_eq!(tracer.counter_value("hdfs.files_created"), 1);
+        assert_eq!(tracer.counter_value("hdfs.blocks_written"), 1);
+        assert_eq!(tracer.counter_value("hdfs.bytes_written"), 64 << 20);
+
+        h.create("/b", 10 << 20, NodeId(1)).unwrap();
+        h.read_plan("/b", NodeId(1)).unwrap();
+        assert_eq!(tracer.counter_value("hdfs.reads_planned"), 1);
+        assert_eq!(tracer.counter_value("hdfs.bytes_read_local"), 10 << 20);
+        assert_eq!(tracer.counter_value("hdfs.bytes_read_remote"), 0);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! The scheduler decision audit log.
+//!
+//! Every time a scheduler places work — dynamically when YARN hands back
+//! a container, or statically at plan time — it records *what it saw*:
+//! the candidates considered, the score each one earned under the
+//! policy's own objective, and which candidate won. This is the
+//! "recoverable, queryable run structure" the provenance literature asks
+//! of workflow systems: afterwards one can answer "why did task 17 run on
+//! worker-3?" from the log alone.
+
+/// How the decision was made.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Container-arrival-time selection (dynamic policies, and static
+    /// policies confirming their plan).
+    Select,
+    /// Ahead-of-execution placement by a static policy's `plan()`.
+    Plan,
+}
+
+impl DecisionKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DecisionKind::Select => "select",
+            DecisionKind::Plan => "plan",
+        }
+    }
+}
+
+/// One candidate the scheduler weighed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CandidateScore {
+    /// Task id (`TaskId.0` upstream; obs stays dependency-free).
+    pub task: u64,
+    /// Tool signature / task name.
+    pub label: String,
+    /// The policy's score for this candidate. Orientation is per policy
+    /// and stated in `Decision::reason` (e.g. locality fraction: higher
+    /// wins; relative fitness or EFT: lower wins).
+    pub score: f64,
+    /// Human-readable score breakdown, e.g. `"local 3/4 blocks"`.
+    pub detail: String,
+}
+
+/// One placement decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Decision {
+    /// Virtual time of the decision.
+    pub t: f64,
+    /// Policy name (`"fcfs"`, `"data_aware"`, `"round_robin"`, `"heft"`,
+    /// `"adaptive"`).
+    pub policy: &'static str,
+    pub kind: DecisionKind,
+    /// Node index the container/assignment targets.
+    pub node: u32,
+    pub node_name: String,
+    /// Candidates in the order the scheduler considered them.
+    pub candidates: Vec<CandidateScore>,
+    /// Task id of the winner; `None` when the scheduler declined to place
+    /// anything (empty queue, or late binding waiting for a better node).
+    pub winner: Option<u64>,
+    /// Why the winner won, in the policy's own terms.
+    pub reason: String,
+}
+
+impl Decision {
+    /// The winning candidate's entry, if the winner was scored.
+    pub fn winning_candidate(&self) -> Option<&CandidateScore> {
+        let w = self.winner?;
+        self.candidates.iter().find(|c| c.task == w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winning_candidate_lookup() {
+        let d = Decision {
+            t: 1.0,
+            policy: "data_aware",
+            kind: DecisionKind::Select,
+            node: 2,
+            node_name: "worker-0".into(),
+            candidates: vec![
+                CandidateScore {
+                    task: 7,
+                    label: "mProject".into(),
+                    score: 0.25,
+                    detail: "local 1/4".into(),
+                },
+                CandidateScore {
+                    task: 9,
+                    label: "mDiff".into(),
+                    score: 1.0,
+                    detail: "local 4/4".into(),
+                },
+            ],
+            winner: Some(9),
+            reason: "highest locality fraction".into(),
+        };
+        assert_eq!(d.winning_candidate().unwrap().task, 9);
+        assert_eq!(d.kind.as_str(), "select");
+        let none = Decision { winner: None, ..d };
+        assert!(none.winning_candidate().is_none());
+    }
+}

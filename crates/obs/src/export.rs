@@ -1,0 +1,397 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto), JSON-lines, and
+//! a plain-text per-node Gantt chart.
+//!
+//! All three are pure functions of a [`TraceData`] snapshot and emit
+//! bytes deterministically: events in insertion order, metrics in sorted
+//! order, fixed-precision floats everywhere.
+
+use crate::json_escape;
+use crate::trace::{TraceData, TraceEvent};
+
+/// Microseconds with fixed sub-µs precision — the Chrome trace format's
+/// native unit.
+fn us(t: f64) -> String {
+    format!("{:.3}", t * 1e6)
+}
+
+fn args_json(args: &[(String, String)]) -> String {
+    let fields: Vec<String> = args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Renders the trace as Chrome trace-event JSON, loadable at
+/// `ui.perfetto.dev`. One thread (track) per node; container spans are
+/// named by task signature, which is what Perfetto colours slices by, so
+/// every `mProject` is one colour and every `mDiff` another.
+pub fn to_perfetto(data: &TraceData) -> String {
+    let mut ev: Vec<String> = Vec::with_capacity(data.events.len() + data.tracks.len() + 8);
+    ev.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"hiway\"}}"
+            .to_string(),
+    );
+    let sched_tid = data.tracks.len() as u32;
+    for (i, name) in data.tracks.iter().enumerate() {
+        ev.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            i,
+            json_escape(name)
+        ));
+        ev.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{i},\
+             \"args\":{{\"sort_index\":{i}}}}}"
+        ));
+    }
+    if !data.decisions.is_empty() {
+        ev.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{sched_tid},\
+             \"args\":{{\"name\":\"scheduler\"}}}}"
+        ));
+        ev.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{sched_tid},\
+             \"args\":{{\"sort_index\":{sched_tid}}}}}"
+        ));
+    }
+    for e in &data.events {
+        match e {
+            TraceEvent::Span {
+                track,
+                name,
+                cat,
+                t0,
+                t1,
+                args,
+            } => ev.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{}}}",
+                json_escape(name),
+                cat,
+                us(*t0),
+                us(t1 - t0),
+                track.0,
+                args_json(args)
+            )),
+            TraceEvent::Instant {
+                track,
+                name,
+                cat,
+                t,
+                args,
+            } => ev.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{}}}",
+                json_escape(name),
+                cat,
+                us(*t),
+                track.0,
+                args_json(args)
+            )),
+            TraceEvent::Counter { name, t, value, .. } => ev.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+                 \"args\":{{\"value\":{value:.3}}}}}",
+                json_escape(name),
+                us(*t),
+            )),
+        }
+    }
+    for d in &data.decisions {
+        let cands: Vec<String> = d
+            .candidates
+            .iter()
+            .map(|c| {
+                format!(
+                    "t{} {} score={:.4} ({})",
+                    c.task, c.label, c.score, c.detail
+                )
+            })
+            .collect();
+        ev.push(format!(
+            "{{\"name\":\"{}:{}\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+             \"pid\":1,\"tid\":{sched_tid},\"args\":{{\"node\":\"{}\",\"winner\":\"{}\",\
+             \"reason\":\"{}\",\"candidates\":\"{}\"}}}}",
+            d.policy,
+            d.kind.as_str(),
+            us(d.t),
+            json_escape(&d.node_name),
+            d.winner
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "-".into()),
+            json_escape(&d.reason),
+            json_escape(&cands.join("; ")),
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        ev.join(",\n")
+    )
+}
+
+/// Renders the trace as a JSON-lines event log: one object per line, in
+/// order — events, then decisions, then the final metrics.
+pub fn to_jsonl(data: &TraceData) -> String {
+    let mut out = String::new();
+    let track_name = |id: u32| -> &str {
+        data.tracks
+            .get(id as usize)
+            .map(|s| s.as_str())
+            .unwrap_or("?")
+    };
+    for e in &data.events {
+        let line = match e {
+            TraceEvent::Span {
+                track,
+                name,
+                cat,
+                t0,
+                t1,
+                args,
+            } => format!(
+                "{{\"type\":\"span\",\"track\":\"{}\",\"name\":\"{}\",\"cat\":\"{}\",\
+                 \"t0\":{t0:.6},\"t1\":{t1:.6},\"args\":{}}}",
+                json_escape(track_name(track.0)),
+                json_escape(name),
+                cat,
+                args_json(args)
+            ),
+            TraceEvent::Instant {
+                track,
+                name,
+                cat,
+                t,
+                args,
+            } => format!(
+                "{{\"type\":\"instant\",\"track\":\"{}\",\"name\":\"{}\",\"cat\":\"{}\",\
+                 \"t\":{t:.6},\"args\":{}}}",
+                json_escape(track_name(track.0)),
+                json_escape(name),
+                cat,
+                args_json(args)
+            ),
+            TraceEvent::Counter {
+                track,
+                name,
+                t,
+                value,
+            } => format!(
+                "{{\"type\":\"counter\",\"track\":\"{}\",\"name\":\"{}\",\
+                 \"t\":{t:.6},\"value\":{value:.6}}}",
+                json_escape(track_name(track.0)),
+                json_escape(name)
+            ),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    for d in &data.decisions {
+        let cands: Vec<String> = d
+            .candidates
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"task\":{},\"label\":\"{}\",\"score\":{:.6},\"detail\":\"{}\"}}",
+                    c.task,
+                    json_escape(&c.label),
+                    c.score,
+                    json_escape(&c.detail)
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "{{\"type\":\"decision\",\"t\":{:.6},\"policy\":\"{}\",\"kind\":\"{}\",\
+             \"node\":\"{}\",\"winner\":{},\"reason\":\"{}\",\"candidates\":[{}]}}\n",
+            d.t,
+            d.policy,
+            d.kind.as_str(),
+            json_escape(&d.node_name),
+            d.winner
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "null".into()),
+            json_escape(&d.reason),
+            cands.join(",")
+        ));
+    }
+    for (name, v) in data.metrics.counters() {
+        out.push_str(&format!(
+            "{{\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"{}\",\"value\":{v}}}\n",
+            json_escape(name)
+        ));
+    }
+    for (name, v) in data.metrics.gauges() {
+        out.push_str(&format!(
+            "{{\"type\":\"metric\",\"metric\":\"gauge\",\"name\":\"{}\",\"value\":{v:.6}}}\n",
+            json_escape(name)
+        ));
+    }
+    for (name, h) in data.metrics.histograms() {
+        let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+        out.push_str(&format!(
+            "{{\"type\":\"metric\",\"metric\":\"histogram\",\"name\":\"{}\",\
+             \"count\":{},\"sum\":{:.6},\"counts\":[{}]}}\n",
+            json_escape(name),
+            h.count,
+            h.sum,
+            counts.join(",")
+        ));
+    }
+    out
+}
+
+const GANTT_WIDTH: usize = 72;
+
+/// Renders per-node timelines as fixed-width text. Only spans appear (a
+/// Gantt chart of instants is not useful); tracks render in registration
+/// order and spans per track in recording order.
+pub fn to_gantt(data: &TraceData) -> String {
+    let spans: Vec<(u32, &str, f64, f64)> = data
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span {
+                track,
+                name,
+                t0,
+                t1,
+                ..
+            } => Some((track.0, name.as_str(), *t0, *t1)),
+            _ => None,
+        })
+        .collect();
+    let t_max = spans.iter().map(|s| s.3).fold(0.0, f64::max);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "virtual-time gantt · {} tracks · {} spans · horizon {:.1}s\n",
+        data.tracks.len(),
+        spans.len(),
+        t_max
+    ));
+    let scale = if t_max > 0.0 {
+        GANTT_WIDTH as f64 / t_max
+    } else {
+        0.0
+    };
+    for (i, track) in data.tracks.iter().enumerate() {
+        let mine: Vec<&(u32, &str, f64, f64)> = spans.iter().filter(|s| s.0 == i as u32).collect();
+        if mine.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("\n== {track} ==\n"));
+        for (_, name, t0, t1) in mine {
+            let a = (t0 * scale).floor() as usize;
+            let b = ((t1 * scale).ceil() as usize).clamp(a + 1, GANTT_WIDTH.max(a + 1));
+            let mut bar = String::with_capacity(GANTT_WIDTH);
+            for _ in 0..a {
+                bar.push(' ');
+            }
+            for _ in a..b {
+                bar.push('#');
+            }
+            for _ in b..GANTT_WIDTH {
+                bar.push(' ');
+            }
+            out.push_str(&format!("  |{bar}| {:>9.2}s..{:<9.2}s  {name}\n", t0, t1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{CandidateScore, Decision, DecisionKind};
+    use crate::trace::Tracer;
+
+    fn sample() -> TraceData {
+        let t = Tracer::enabled();
+        let w0 = t.track("worker-0");
+        let w1 = t.track("worker-1");
+        t.span(
+            w0,
+            "mProject_1",
+            "task",
+            1.0,
+            3.0,
+            &[("attempt", "1".into())],
+        );
+        t.span(w1, "mDiff_2", "task", 2.0, 2.5, &[]);
+        t.instant(w0, "fault.crash_node", "fault", 2.2, &[]);
+        t.counter(w0, "heap_depth", 1.5, 42.0);
+        t.inc("hdfs.cache_hit", 7);
+        t.set_gauge("engine.activities", 3.0);
+        t.observe("task.wait_secs", 0.5);
+        t.audit(Decision {
+            t: 1.0,
+            policy: "fcfs",
+            kind: DecisionKind::Select,
+            node: 0,
+            node_name: "worker-0".into(),
+            candidates: vec![CandidateScore {
+                task: 1,
+                label: "mProject".into(),
+                score: 0.0,
+                detail: "queue pos 0".into(),
+            }],
+            winner: Some(1),
+            reason: "queue head".into(),
+        });
+        t.snapshot().unwrap()
+    }
+
+    #[test]
+    fn perfetto_has_metadata_and_events() {
+        let json = to_perfetto(&sample());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"worker-0\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"mProject_1\""));
+        // 1.0s -> 1000000.000 µs
+        assert!(json.contains("\"ts\":1000000.000"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("fcfs:select"));
+        // Balanced braces — cheap well-formedness check without a parser.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn jsonl_one_line_per_record() {
+        let data = sample();
+        let out = to_jsonl(&data);
+        // 4 events + 1 decision + 1 counter + 1 gauge + 1 histogram.
+        assert_eq!(out.lines().count(), 8);
+        assert!(out.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(out.contains("\"type\":\"decision\""));
+        assert!(out.contains("\"hdfs.cache_hit\",\"value\":7"));
+    }
+
+    #[test]
+    fn gantt_renders_each_track_once() {
+        let g = to_gantt(&sample());
+        assert!(g.contains("== worker-0 =="));
+        assert!(g.contains("== worker-1 =="));
+        assert!(g.contains("mProject_1"));
+        assert!(g.contains('#'));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(to_perfetto(&a), to_perfetto(&b));
+        assert_eq!(to_jsonl(&a), to_jsonl(&b));
+        assert_eq!(to_gantt(&a), to_gantt(&b));
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let data = TraceData::default();
+        assert!(to_perfetto(&data).contains("traceEvents"));
+        assert_eq!(to_jsonl(&data), "");
+        assert!(to_gantt(&data).contains("0 spans"));
+    }
+}

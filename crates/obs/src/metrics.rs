@@ -1,0 +1,180 @@
+//! A deterministic metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Layout rules keeping exports byte-stable: names are stored in
+//! `BTreeMap`s (sorted iteration), histogram buckets are fixed at
+//! registration (no dynamic resizing), and no wall-clock value ever
+//! enters the registry.
+
+use std::collections::BTreeMap;
+
+/// Default histogram bucket upper bounds, in seconds (or whatever unit
+/// the caller observes): quarter-decade spacing from 1 ms to ~17 min,
+/// plus a +inf overflow bucket appended implicitly.
+pub const DEFAULT_BOUNDS: [f64; 13] = [
+    0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0,
+];
+
+/// A fixed-bucket histogram. `counts[i]` tallies observations
+/// `<= bounds[i]`; the final slot counts overflow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    pub bounds: Vec<f64>,
+    /// `bounds.len() + 1` slots; the last is the overflow bucket.
+    pub counts: Vec<u64>,
+    pub sum: f64,
+    pub count: u64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    pub fn observe(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new(&DEFAULT_BOUNDS)
+    }
+}
+
+/// The live registry. Held inside a [`crate::Tracer`]; not usually
+/// constructed directly outside tests.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A frozen copy of the registry for export.
+pub type MetricsSnapshot = MetricsRegistry;
+
+impl MetricsRegistry {
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Observes into the named histogram, creating it with
+    /// [`DEFAULT_BOUNDS`] on first use.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in sorted-name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Gauges in sorted-name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Histograms in sorted-name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::default();
+        m.inc("b", 1);
+        m.inc("a", 2);
+        m.inc("a", 3);
+        m.set_gauge("g", 1.5);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("g"), Some(2.5));
+        // Sorted iteration regardless of insertion order.
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(1.0); // boundary lands in its bucket (<=)
+        h.observe(5.0);
+        h.observe(100.0); // overflow
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.mean() - 26.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_bounds_cover_subsecond_to_minutes() {
+        let mut m = MetricsRegistry::default();
+        m.observe("lat", 0.002);
+        m.observe("lat", 250.0);
+        m.observe("lat", 1e9); // overflow slot
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(*h.counts.last().unwrap(), 1);
+        assert_eq!(h.counts.len(), DEFAULT_BOUNDS.len() + 1);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        assert_eq!(Histogram::default().mean(), 0.0);
+    }
+}

@@ -42,6 +42,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use hiway_obs::{Tracer, TrackId};
+
 use crate::cpufair::fair_cores_into;
 use crate::metrics::NodeUsage;
 use crate::netfair::{Constraint, FlowPath, NetFairWorkspace};
@@ -252,6 +254,11 @@ pub struct Engine<T> {
     /// Cached instantaneous per-node totals, refreshed with the rates:
     /// (alloc cores, disk read B/s, disk write B/s, net in B/s, net out B/s).
     inst: Vec<[f64; 5]>,
+    /// Observability sink; [`Tracer::disabled`] by default, so the hot
+    /// path pays one pointer-null check per guarded block and nothing else.
+    tracer: Tracer,
+    node_tracks: Vec<TrackId>,
+    engine_track: TrackId,
 }
 
 impl<T: Clone> Engine<T> {
@@ -312,6 +319,37 @@ impl<T: Clone> Engine<T> {
             done_buf: Vec::new(),
             usage: vec![NodeUsage::default(); n],
             inst: vec![[0.0; 5]; n],
+            tracer: Tracer::disabled(),
+            node_tracks: Vec::new(),
+            engine_track: TrackId::NONE,
+        }
+    }
+
+    /// Attaches an observability tracer. Registers one track per node
+    /// (interned by node name, so HDFS and the driver land events on the
+    /// same tracks) plus a synthetic `engine` track for counters and
+    /// flows with no node endpoint.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.engine_track = self.tracer.track("engine");
+        let t = &self.tracer;
+        self.node_tracks = self.spec.nodes.iter().map(|n| t.track(&n.name)).collect();
+    }
+
+    /// The track an activity's events render on, plus its kind label.
+    fn act_track(&self, kind: &Activity) -> (TrackId, &'static str) {
+        match kind {
+            Activity::Compute { node, .. } => (self.node_tracks[node.index()], "compute"),
+            Activity::DiskRead { node } => (self.node_tracks[node.index()], "disk_read"),
+            Activity::DiskWrite { node } => (self.node_tracks[node.index()], "disk_write"),
+            Activity::Flow { src, dst, .. } => {
+                let track = match (src, dst) {
+                    (Endpoint::Node(n), _) => self.node_tracks[n.index()],
+                    (_, Endpoint::Node(n)) => self.node_tracks[n.index()],
+                    _ => self.engine_track,
+                };
+                (track, "flow")
+            }
         }
     }
 
@@ -359,6 +397,17 @@ impl<T: Clone> Engine<T> {
         let id = self.next_id;
         self.next_id += 1;
         let remaining = volume.max(COMPLETION_EPS / 2.0);
+        if self.tracer.is_enabled() {
+            let (track, what) = self.act_track(&kind);
+            self.tracer.instant(
+                track,
+                &format!("act.start:{what}"),
+                "engine",
+                self.now.as_secs(),
+                &[("id", id.to_string())],
+            );
+            self.tracer.inc("engine.activities_started", 1);
+        }
         // Classify before `kind` moves into the slab.
         let compute = match &kind {
             Activity::Compute { node, threads } => Some((node.0, *threads)),
@@ -599,6 +648,16 @@ impl<T: Clone> Engine<T> {
                 self.free.push(slot);
                 self.id_to_slot.remove(&id);
                 self.detach(id, &act.kind);
+                if self.tracer.is_enabled() {
+                    let (track, what) = self.act_track(&act.kind);
+                    self.tracer.instant(
+                        track,
+                        &format!("act.end:{what}"),
+                        "engine",
+                        self.now.as_secs(),
+                        &[("id", id.to_string())],
+                    );
+                }
                 fired.push(Completion::Activity {
                     id: ActivityId(id),
                     tag: act.tag,
@@ -631,6 +690,22 @@ impl<T: Clone> Engine<T> {
                 id: TimerId(id),
                 tag: timer.tag,
             });
+        }
+        if self.tracer.is_enabled() {
+            let now = self.now.as_secs();
+            self.tracer.counter(
+                self.engine_track,
+                "engine.heap_depth",
+                now,
+                self.comp_heap.len() as f64,
+            );
+            self.tracer.counter(
+                self.engine_track,
+                "engine.active",
+                now,
+                self.id_to_slot.len() as f64,
+            );
+            self.tracer.inc("engine.steps", 1);
         }
         Some(fired)
     }
@@ -1095,6 +1170,65 @@ mod tests {
         assert!(matches!(fired[0], Completion::Timer { tag: 0, .. }));
         assert!(e.step().is_none());
         assert_eq!(e.debug_timer_count(), 0);
+    }
+
+    #[test]
+    fn tracer_records_activity_lifecycle() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        let tracer = Tracer::enabled();
+        e.set_tracer(&tracer);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 1.0,
+            },
+            2.0,
+            0,
+        );
+        e.step().unwrap();
+        let data = tracer.snapshot().unwrap();
+        // start + end instants, plus the per-step heap/active counters.
+        let names: Vec<&str> = data
+            .events
+            .iter()
+            .map(|ev| match ev {
+                hiway_obs::TraceEvent::Instant { name, .. } => name.as_str(),
+                hiway_obs::TraceEvent::Counter { name, .. } => name.as_str(),
+                hiway_obs::TraceEvent::Span { name, .. } => name.as_str(),
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "act.start:compute",
+                "act.end:compute",
+                "engine.heap_depth",
+                "engine.active"
+            ]
+        );
+        assert_eq!(tracer.counter_value("engine.activities_started"), 1);
+        assert_eq!(tracer.counter_value("engine.steps"), 1);
+        // Tracks: "engine" plus the node's name.
+        assert_eq!(data.tracks[0], "engine");
+        assert_eq!(data.tracks.len(), 2);
+    }
+
+    #[test]
+    fn disabled_tracer_stays_empty_through_a_run() {
+        let mut e: Engine<u32> = Engine::new(one_node_cluster());
+        let tracer = Tracer::disabled();
+        e.set_tracer(&tracer);
+        e.start(
+            Activity::Compute {
+                node: NodeId(0),
+                threads: 1.0,
+            },
+            2.0,
+            0,
+        );
+        e.step().unwrap();
+        assert_eq!(tracer.event_count(), 0);
+        assert!(tracer.snapshot().is_none());
     }
 
     #[test]

@@ -143,4 +143,60 @@ mod tests {
         u.accumulate(1.0, &[0.0, 400.0e6, 400.0e6, 0.0, 0.0], &spec);
         assert!((u.sample().io_util - 1.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn zero_elapsed_accumulation_samples_zero() {
+        // A zero-length window (two events at the same instant) must not
+        // divide by zero — sample() returns all-zero, not NaN.
+        let spec = NodeSpec::m3_large("n");
+        let mut u = NodeUsage::default();
+        u.accumulate(0.0, &[4.0, 100.0e6, 100.0e6, 1.0e6, 1.0e6], &spec);
+        assert_eq!(u.elapsed, 0.0);
+        let s = u.sample();
+        assert_eq!(s, UsageSample::default());
+        assert!(!s.cpu_load.is_nan() && !s.io_util.is_nan());
+    }
+
+    #[test]
+    fn io_util_clamps_even_when_rates_exceed_spec() {
+        // Instantaneous totals can transiently exceed the device spec
+        // (e.g. several flows sharing a disk mid-refresh); utilization
+        // must still integrate as saturated, never above 1 per second.
+        let spec = NodeSpec::m3_large("n");
+        let mut u = NodeUsage::default();
+        u.accumulate(2.0, &[0.0, 10.0 * spec.disk_read_bps, 0.0, 0.0, 0.0], &spec);
+        assert!((u.io_util_seconds - 2.0).abs() < 1e-9);
+        assert!((u.sample().io_util - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bandwidth_disk_spec_reports_zero_util() {
+        // A node with no disk bandwidth (e.g. a diskless master profile)
+        // must not produce inf/NaN utilization from the 0/0 division.
+        let mut spec = NodeSpec::m3_large("n");
+        spec.disk_read_bps = 0.0;
+        spec.disk_write_bps = 0.0;
+        let mut u = NodeUsage::default();
+        u.accumulate(3.0, &[1.0, 5.0e6, 5.0e6, 0.0, 0.0], &spec);
+        let s = u.sample();
+        assert_eq!(s.io_util, 0.0);
+        assert!(!s.io_util.is_nan());
+        // Byte integrals still accumulate — only utilization is undefined.
+        assert!((u.disk_read_bytes - 15.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn one_sided_zero_bandwidth_uses_the_other_side() {
+        // Write bandwidth zero, read side active: utilization comes from
+        // the read ratio alone.
+        let mut spec = NodeSpec::m3_large("n");
+        spec.disk_write_bps = 0.0;
+        let mut u = NodeUsage::default();
+        u.accumulate(
+            1.0,
+            &[0.0, spec.disk_read_bps / 2.0, 123.0, 0.0, 0.0],
+            &spec,
+        );
+        assert!((u.sample().io_util - 0.5).abs() < 1e-9);
+    }
 }

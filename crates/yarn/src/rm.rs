@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use hiway_obs::Tracer;
 use hiway_sim::{ClusterSpec, NodeId};
 
 use crate::types::{AppId, Container, ContainerId, ContainerRequest, RequestId, Resource};
@@ -49,6 +50,10 @@ pub struct ResourceManager {
     /// Round-robin pointer so relaxed requests spread across the cluster
     /// instead of piling onto node 0.
     spread_cursor: usize,
+    /// Observability sink. The RM deliberately has no clock, so it only
+    /// feeds the metrics registry (counters and queue gauges); timestamped
+    /// container spans are emitted by the driver, which knows `now`.
+    tracer: Tracer,
 }
 
 impl ResourceManager {
@@ -81,7 +86,14 @@ impl ResourceManager {
             next_app: 0,
             apps: Vec::new(),
             spread_cursor: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches an observability sink. Counters land in the shared
+    /// metrics registry; a disabled tracer keeps every record a no-op.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Registers an application (a Hi-WAY AM about to start). The AM's own
@@ -103,12 +115,21 @@ impl ResourceManager {
         let id = RequestId(self.next_request);
         self.next_request += 1;
         self.queue.insert(id.0, PendingRequest { app, request });
+        self.tracer.inc("rm.requests", 1);
+        self.tracer
+            .set_gauge("rm.pending_requests", self.queue.len() as f64);
         id
     }
 
     /// Withdraws a pending request (e.g. the workflow finished early).
     pub fn cancel_request(&mut self, id: RequestId) -> bool {
-        self.queue.remove(&id.0).is_some()
+        let removed = self.queue.remove(&id.0).is_some();
+        if removed {
+            self.tracer.inc("rm.requests_cancelled", 1);
+            self.tracer
+                .set_gauge("rm.pending_requests", self.queue.len() as f64);
+        }
+        removed
     }
 
     pub fn pending_requests(&self) -> usize {
@@ -140,6 +161,15 @@ impl ResourceManager {
                 self.containers.insert(cid.0, container);
                 granted.push(container);
             }
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.inc("rm.allocation_rounds", 1);
+            self.tracer
+                .inc("rm.containers_allocated", granted.len() as u64);
+            self.tracer
+                .set_gauge("rm.pending_requests", self.queue.len() as f64);
+            self.tracer
+                .set_gauge("rm.running_containers", self.containers.len() as f64);
         }
         granted
     }
@@ -173,6 +203,9 @@ impl ResourceManager {
         if state.alive {
             state.available.add(&container.resource);
         }
+        self.tracer.inc("rm.containers_released", 1);
+        self.tracer
+            .set_gauge("rm.running_containers", self.containers.len() as f64);
         Some(container)
     }
 
@@ -190,6 +223,13 @@ impl ResourceManager {
             .collect();
         for c in &killed {
             self.containers.remove(&c.id.0);
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.inc("rm.nodes_failed", 1);
+            self.tracer
+                .inc("rm.containers_lost_to_node_failure", killed.len() as u64);
+            self.tracer
+                .set_gauge("rm.running_containers", self.containers.len() as f64);
         }
         killed
     }
@@ -214,6 +254,7 @@ impl ResourceManager {
         if !state.alive {
             state.alive = true;
             state.available = state.total;
+            self.tracer.inc("rm.nodes_revived", 1);
         }
     }
 
@@ -451,6 +492,44 @@ mod tests {
         r.request(app, ContainerRequest::anywhere(one_core()));
         let nodes: Vec<NodeId> = r.allocate().iter().map(|c| c.node).collect();
         assert!(!nodes.is_empty());
+    }
+
+    #[test]
+    fn tracer_counts_allocation_lifecycle() {
+        use hiway_obs::Tracer;
+        let tracer = Tracer::enabled();
+        let mut r = rm(2);
+        r.set_tracer(&tracer);
+        let app = r.submit_app("wf");
+        for _ in 0..3 {
+            r.request(app, ContainerRequest::anywhere(one_core()));
+        }
+        let got = r.allocate();
+        assert_eq!(tracer.counter_value("rm.requests"), 3);
+        assert_eq!(
+            tracer.counter_value("rm.containers_allocated"),
+            got.len() as u64
+        );
+        r.release(got[0].id);
+        assert_eq!(tracer.counter_value("rm.containers_released"), 1);
+        r.fail_node(NodeId(1));
+        assert_eq!(tracer.counter_value("rm.nodes_failed"), 1);
+        r.revive_node(NodeId(1));
+        assert_eq!(tracer.counter_value("rm.nodes_revived"), 1);
+        let snap = tracer.snapshot().expect("enabled tracer snapshots");
+        assert_eq!(snap.metrics.gauge("rm.pending_requests"), Some(0.0));
+    }
+
+    #[test]
+    fn disabled_tracer_leaves_rm_silent() {
+        let tracer = hiway_obs::Tracer::disabled();
+        let mut r = rm(1);
+        r.set_tracer(&tracer);
+        let app = r.submit_app("wf");
+        r.request(app, ContainerRequest::anywhere(one_core()));
+        r.allocate();
+        assert_eq!(tracer.counter_value("rm.requests"), 0);
+        assert!(tracer.snapshot().is_none());
     }
 
     #[test]
