@@ -56,4 +56,19 @@ if ! cmp -s /tmp/chaos_run1.txt results/chaos.txt; then
 fi
 echo "chaos deterministic, matches results/chaos.txt"
 
+echo "==> multi-tenancy fairness gate (same seed, twice, byte-identical)"
+./target/release/multiwf > /tmp/multiwf_run1.txt
+./target/release/multiwf > /tmp/multiwf_run2.txt
+if ! cmp -s /tmp/multiwf_run1.txt /tmp/multiwf_run2.txt; then
+  echo "FAIL: multiwf experiment is not deterministic across runs" >&2
+  diff /tmp/multiwf_run1.txt /tmp/multiwf_run2.txt >&2 || true
+  exit 1
+fi
+if ! cmp -s /tmp/multiwf_run1.txt results/multiwf.txt; then
+  echo "FAIL: multiwf output drifted from results/multiwf.txt" >&2
+  diff results/multiwf.txt /tmp/multiwf_run1.txt >&2 || true
+  exit 1
+fi
+echo "multiwf deterministic, matches results/multiwf.txt"
+
 echo "CI OK"

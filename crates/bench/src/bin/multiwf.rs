@@ -10,4 +10,12 @@ fn main() {
             std::process::exit(1);
         }
     }
+    println!("Fairness: two queues weighted 2:1, 4 Montage workflows each, 16 workers\n");
+    match multiwf::run_fairness(16, 4, 5) {
+        Ok(sweep) => println!("{}", multiwf::render_fairness(&sweep)),
+        Err(e) => {
+            eprintln!("fairness sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -111,6 +111,11 @@ pub struct HiwayConfig {
     pub write_trace: bool,
     /// Seed for the AM's failure/randomness draws.
     pub seed: u64,
+    /// Leaf scheduler queue to submit the workflow to. `None` targets the
+    /// RM's default queue; naming a queue requires the RM to have been
+    /// configured with a matching queue tree (the submission fails
+    /// otherwise).
+    pub queue: Option<String>,
 }
 
 impl Default for HiwayConfig {
@@ -135,6 +140,7 @@ impl Default for HiwayConfig {
             speculation_min_secs: 20.0,
             write_trace: true,
             seed: 0,
+            queue: None,
         }
     }
 }
@@ -158,6 +164,11 @@ impl HiwayConfig {
 
     pub fn with_seed(mut self, seed: u64) -> HiwayConfig {
         self.seed = seed;
+        self
+    }
+
+    pub fn with_queue(mut self, queue: &str) -> HiwayConfig {
+        self.queue = Some(queue.to_string());
         self
     }
 }
@@ -190,5 +201,8 @@ mod tests {
         assert_eq!(c.scheduler, SchedulerPolicy::Heft);
         assert_eq!(c.seed, 9);
         assert_eq!(c.scheduler.name(), "heft");
+        assert_eq!(c.queue, None, "default targets the RM's default queue");
+        let c = c.with_queue("tenant-a");
+        assert_eq!(c.queue.as_deref(), Some("tenant-a"));
     }
 }

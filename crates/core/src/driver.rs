@@ -327,11 +327,40 @@ impl Runtime {
         config: HiwayConfig,
         prov_db: ProvDb,
     ) -> usize {
-        let app = self.cluster.rm.submit_app(source.name().to_string());
-        self.cluster.rm.request(
-            app,
-            hiway_yarn::ContainerRequest::anywhere(config.am_resource),
-        );
+        // Route the submission through the configured scheduler queue.
+        // Queued submissions hold their AM request until admitted;
+        // rejected ones (admission limit, unknown queue) become errored
+        // AMs without ever touching the RM queue.
+        let queue_name = config
+            .queue
+            .clone()
+            .unwrap_or_else(|| self.cluster.rm.default_queue().to_string());
+        let (app, submit_error) = match self
+            .cluster
+            .rm
+            .submit_app_to(&queue_name, source.name().to_string())
+        {
+            Ok((app, hiway_yarn::Admission::Rejected)) => (
+                app,
+                Some(format!(
+                    "submission rejected: queue '{queue_name}' is at its application limit"
+                )),
+            ),
+            Ok((app, _)) => (app, None),
+            Err(why) => {
+                let app = self.cluster.rm.submit_app(source.name().to_string());
+                self.cluster.rm.finish_app(app);
+                (app, Some(format!("submission failed: {why}")))
+            }
+        };
+        if submit_error.is_none() {
+            // The AM container must never fall to cross-queue preemption:
+            // killing the AM kills the whole workflow.
+            self.cluster.rm.request(
+                app,
+                hiway_yarn::ContainerRequest::anywhere(config.am_resource).never_preempt(),
+            );
+        }
         self.heartbeat_secs = self.heartbeat_secs.min(config.heartbeat_secs);
         let seed = config.seed ^ (self.ams.len() as u64).wrapping_mul(0x9e37_79b9);
         let scheduler = make_scheduler(config.scheduler);
@@ -349,7 +378,7 @@ impl Runtime {
             started: false,
             planned: false,
             done: false,
-            error: None,
+            error: submit_error,
             am_container: None,
             t_submit,
             t_finish: 0.0,
@@ -389,10 +418,15 @@ impl Runtime {
             }
         }
         // Anything still active at engine drain is stalled.
+        let mut finished = Vec::new();
         for am in &mut self.ams {
             if am.active() {
                 am.error = Some("workflow stalled: no runnable work left".to_string());
+                finished.push(am.app);
             }
+        }
+        for app in finished {
+            self.cluster.rm.finish_app(app);
         }
         self.reports()
     }
@@ -586,7 +620,24 @@ impl Runtime {
 
     fn on_heartbeat(&mut self) {
         self.heartbeat_armed = false;
-        let granted = self.cluster.rm.allocate();
+        // Fail fast workflows whose requests can never be satisfied — an
+        // ask larger than every node (or the queue's elastic ceiling)
+        // would otherwise hang until stall detection guesses.
+        for (app, why) in self.cluster.rm.take_infeasible() {
+            if let Some(wf) = self.ams.iter().position(|am| am.app == app) {
+                if self.ams[wf].active() {
+                    self.fail_workflow(wf, format!("unsatisfiable container request: {why}"));
+                }
+            }
+        }
+        // Cross-queue preemption victims selected by the RM die through
+        // the same infrastructure-failure path node crashes use, so AM
+        // infra-retry budgets and backoff apply.
+        for cid in self.cluster.rm.take_preemptions() {
+            self.preempt_container(cid);
+        }
+        let now = self.cluster.engine.now().as_secs();
+        let granted = self.cluster.rm.allocate_at(now);
         let any_granted = !granted.is_empty();
         for container in granted {
             self.route_container(container);
@@ -608,6 +659,7 @@ impl Runtime {
                 self.stall_strikes = 0;
             }
             if self.stall_strikes > 3 {
+                let mut finished = Vec::new();
                 for am in &mut self.ams {
                     if am.active() {
                         am.error = Some(if am.started {
@@ -616,7 +668,11 @@ impl Runtime {
                         } else {
                             "workflow stalled: AM container was never allocated".to_string()
                         });
+                        finished.push(am.app);
                     }
+                }
+                for app in finished {
+                    self.cluster.rm.finish_app(app);
                 }
                 return;
             }
@@ -1729,6 +1785,7 @@ impl Runtime {
         if let Some(c) = self.ams[wf].am_container.take() {
             self.cluster.rm.release(c.id);
         }
+        self.cluster.rm.finish_app(self.ams[wf].app);
     }
 
     fn maybe_finish(&mut self, wf: usize) {
@@ -1746,6 +1803,9 @@ impl Runtime {
         if let Some(c) = am.am_container.take() {
             self.cluster.rm.release(c.id);
         }
+        // Free the admission slot: the oldest queued submission (if any)
+        // takes it on the next heartbeat.
+        self.cluster.rm.finish_app(self.ams[wf].app);
     }
 
     fn charge_master_overhead(&mut self, hadoop_side: bool) {

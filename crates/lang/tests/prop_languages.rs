@@ -171,3 +171,160 @@ fn unbounded_recursion_is_rejected() {
     let err = wf.initial_tasks().unwrap_err();
     assert!(err.message.contains("recursion"), "{}", err.message);
 }
+
+// ---------------------------------------------------------------------------
+// Parse → IR → trace-replay equivalence (§3.5: "the trace file … can be
+// interpreted as a workflow itself"). A workflow parsed from any front-end,
+// executed, and re-parsed from its own trace must be the same workflow:
+// same tasks, same commands, same file-mediated dependency structure, same
+// costs. (The trace schema carries no scratch-I/O field, so the generated
+// profiles below use none.)
+
+use std::collections::HashMap;
+
+use hiway_lang::galaxy::{parse_galaxy, BoundInput, ToolProfile, ToolProfiles};
+use hiway_lang::ir::StaticWorkflow;
+use hiway_lang::trace::WorkflowEvent;
+
+/// Synthesizes the trace a run of `wf` would write (tasks in IR order,
+/// one attempt each), re-parses it, and checks structural equivalence.
+fn assert_replay_equivalent(wf: &StaticWorkflow) -> Result<(), TestCaseError> {
+    let size_of: HashMap<String, u64> = wf
+        .tasks
+        .iter()
+        .flat_map(|t| t.outputs.iter().map(|o| (o.path.clone(), o.size)))
+        .collect();
+    let mut events = vec![TraceEvent::Workflow(WorkflowEvent {
+        name: wf.name.clone(),
+        language: wf.language.to_string(),
+        total_seconds: wf.tasks.len() as f64,
+    })];
+    for (i, t) in wf.tasks.iter().enumerate() {
+        events.push(TraceEvent::Task(TaskEvent {
+            id: t.id.0,
+            name: t.name.clone(),
+            command: t.command.clone(),
+            inputs: t
+                .inputs
+                .iter()
+                .map(|p| (p.clone(), *size_of.get(p).unwrap_or(&0)))
+                .collect(),
+            outputs: t.outputs.iter().map(|o| (o.path.clone(), o.size)).collect(),
+            cpu_seconds: t.cost.cpu_seconds,
+            threads: t.cost.threads,
+            memory_mb: t.cost.memory_mb,
+            node: "w-0".into(),
+            t_start: i as f64,
+            t_end: i as f64 + 1.0,
+            attempts: 1,
+            stdout: String::new(),
+            stderr: String::new(),
+        }));
+    }
+    let replay = parse_trace(&write_trace(&events)).expect("trace replays");
+    prop_assert_eq!(replay.tasks.len(), wf.tasks.len());
+    prop_assert_eq!(replay.external_inputs(), wf.external_inputs());
+    for (a, b) in wf.tasks.iter().zip(&replay.tasks) {
+        prop_assert_eq!(a.id.0, b.id.0);
+        prop_assert_eq!(&a.name, &b.name);
+        prop_assert_eq!(&a.command, &b.command);
+        prop_assert_eq!(&a.inputs, &b.inputs);
+        let outs = |t: &hiway_lang::ir::TaskSpec| -> Vec<(String, u64)> {
+            t.outputs.iter().map(|o| (o.path.clone(), o.size)).collect()
+        };
+        prop_assert_eq!(outs(a), outs(b));
+        prop_assert_eq!(a.cost.cpu_seconds, b.cost.cpu_seconds);
+        prop_assert_eq!(a.cost.threads, b.cost.threads);
+        prop_assert_eq!(a.cost.memory_mb, b.cost.memory_mb);
+    }
+    Ok(())
+}
+
+/// A Galaxy `.ga` document: one data input fanning out to `width` mapper
+/// tool steps, folded by a collector step.
+fn galaxy_doc(width: usize) -> String {
+    let mut steps = String::from(
+        r#""0": {"id": 0, "type": "data_input", "label": "reads",
+             "input_connections": {}, "outputs": []}"#,
+    );
+    for i in 1..=width {
+        steps.push_str(&format!(
+            r#", "{i}": {{"id": {i}, "type": "tool",
+                 "tool_id": "shed/repos/dev/mapper/mapper/1.{i}",
+                 "input_connections": {{"input": {{"id": 0, "output_name": "output"}}}},
+                 "outputs": [{{"name": "out", "type": "dat"}}]}}"#
+        ));
+    }
+    let conns: Vec<String> = (1..=width)
+        .map(|i| format!(r#""in{i}": {{"id": {i}, "output_name": "out"}}"#))
+        .collect();
+    let cid = width + 1;
+    steps.push_str(&format!(
+        r#", "{cid}": {{"id": {cid}, "type": "tool",
+             "tool_id": "shed/repos/dev/collect/collect/1.0",
+             "input_connections": {{{}}},
+             "outputs": [{{"name": "merged", "type": "dat"}}]}}"#,
+        conns.join(", ")
+    ));
+    format!(r#"{{"a_galaxy_workflow": "true", "name": "gen-ga", "steps": {{{steps}}}}}"#)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DAX documents survive the execute-and-replay loop structurally
+    /// intact.
+    #[test]
+    fn dax_trace_replay_is_equivalent(width in 1usize..10, runtime in 1.0f64..100.0) {
+        let mut jobs = String::new();
+        for i in 0..width {
+            jobs.push_str(&format!(
+                r#"<job id="m{i}" name="mapper" runtime="{runtime}">
+                     <uses file="in.dat" link="input" size="100"/>
+                     <uses file="m{i}.out" link="output" size="10"/>
+                   </job>"#
+            ));
+        }
+        let uses: String = (0..width)
+            .map(|i| format!(r#"<uses file="m{i}.out" link="input" size="10"/>"#))
+            .collect();
+        jobs.push_str(&format!(
+            r#"<job id="r" name="reducer" runtime="{runtime}">{uses}
+                 <uses file="final.out" link="output" size="1"/>
+               </job>"#
+        ));
+        let wf = parse_dax(&format!(r#"<adag name="gen">{jobs}</adag>"#)).expect("valid DAX");
+        prop_assert_eq!(wf.tasks.len(), width + 1);
+        assert_replay_equivalent(&wf)?;
+    }
+
+    /// Galaxy workflows survive the execute-and-replay loop structurally
+    /// intact, for arbitrary tool cost profiles.
+    #[test]
+    fn galaxy_trace_replay_is_equivalent(
+        width in 1usize..8,
+        input_kb in 1u64..4096,
+        cpu_fixed in 1.0f64..600.0,
+        threads in 1u32..16,
+        memory_mb in 256u64..16_000,
+    ) {
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "reads".to_string(),
+            BoundInput { path: "/in/reads.fq".to_string(), size: input_kb * 1024 },
+        );
+        let mut profiles = ToolProfiles::default();
+        profiles.fallback = ToolProfile {
+            cpu_fixed,
+            cpu_per_byte: 0.0,
+            threads,
+            memory_mb,
+            output_factor: 1.0,
+            scratch_factor: 0.0,
+        };
+        let wf = parse_galaxy(&galaxy_doc(width), &inputs, &profiles).expect("valid .ga");
+        prop_assert_eq!(wf.tasks.len(), width + 1, "data input is not a task");
+        prop_assert_eq!(wf.external_inputs(), vec!["/in/reads.fq".to_string()]);
+        assert_replay_equivalent(&wf)?;
+    }
+}

@@ -71,9 +71,94 @@ impl Decision {
     }
 }
 
+/// What happened to a queue — the multi-tenancy counterpart of
+/// [`Decision`]. The RM records one entry per admission verdict,
+/// per-container grant or preemption, and (once per allocation round)
+/// per-queue usage sample, so fairness questions — "did tenant-b get its
+/// 1/3 share while tenant-a was saturating the cluster?" — are answerable
+/// from the log alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueEventKind {
+    /// An application was admitted to the queue at submission.
+    Admit,
+    /// An application was parked behind the queue's pending-AM limit; it
+    /// will be admitted when a live application finishes.
+    Queued,
+    /// An application was rejected outright (admission policy `Reject`).
+    Reject,
+    /// A container was granted to an application in this queue.
+    Allocate,
+    /// A container in this queue was selected as a preemption victim on
+    /// behalf of a starved sibling queue.
+    Preempt,
+    /// A container request could never be satisfied by any node and was
+    /// failed fast instead of queued.
+    Infeasible,
+    /// Per-round usage sample: the queue's footprint after allocation.
+    Usage,
+}
+
+impl QueueEventKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QueueEventKind::Admit => "admit",
+            QueueEventKind::Queued => "queued",
+            QueueEventKind::Reject => "reject",
+            QueueEventKind::Allocate => "allocate",
+            QueueEventKind::Preempt => "preempt",
+            QueueEventKind::Infeasible => "infeasible",
+            QueueEventKind::Usage => "usage",
+        }
+    }
+}
+
+/// One entry in the per-queue audit log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueAudit {
+    /// Virtual time of the event (the RM's last-seen heartbeat time for
+    /// submission-time events — the RM deliberately has no clock).
+    pub t: f64,
+    /// Leaf queue name.
+    pub queue: String,
+    pub kind: QueueEventKind,
+    /// Application the event concerns, when there is one (`AppId.0`).
+    pub app: Option<u32>,
+    /// Container the event concerns (`ContainerId.0`), for
+    /// allocate/preempt entries.
+    pub container: Option<u64>,
+    /// Queue usage after the event, in vcores.
+    pub used_vcores: u64,
+    /// Queue usage after the event, in MB.
+    pub used_memory_mb: u64,
+    /// Pending (admitted, unscheduled) requests in the queue.
+    pub pending: u64,
+    /// The queue's dominant share of the live cluster after the event.
+    pub share: f64,
+    /// The queue's instantaneous fair share (demand-bounded water-filling
+    /// over weights) at the time of the event.
+    pub fair_share: f64,
+    /// Free-form detail, e.g. the starved sibling a preemption serves.
+    pub detail: String,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn queue_event_kind_labels() {
+        for (kind, label) in [
+            (QueueEventKind::Admit, "admit"),
+            (QueueEventKind::Queued, "queued"),
+            (QueueEventKind::Reject, "reject"),
+            (QueueEventKind::Allocate, "allocate"),
+            (QueueEventKind::Preempt, "preempt"),
+            (QueueEventKind::Infeasible, "infeasible"),
+            (QueueEventKind::Usage, "usage"),
+        ] {
+            assert_eq!(kind.as_str(), label);
+        }
+    }
 
     #[test]
     fn winning_candidate_lookup() {

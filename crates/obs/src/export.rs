@@ -56,6 +56,17 @@ pub fn to_perfetto(data: &TraceData) -> String {
              \"args\":{{\"sort_index\":{sched_tid}}}}}"
         ));
     }
+    let queue_tid = sched_tid + 1;
+    if !data.queue_audits.is_empty() {
+        ev.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{queue_tid},\
+             \"args\":{{\"name\":\"queues\"}}}}"
+        ));
+        ev.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{queue_tid},\
+             \"args\":{{\"sort_index\":{queue_tid}}}}}"
+        ));
+    }
     for e in &data.events {
         match e {
             TraceEvent::Span {
@@ -122,6 +133,27 @@ pub fn to_perfetto(data: &TraceData) -> String {
                 .unwrap_or_else(|| "-".into()),
             json_escape(&d.reason),
             json_escape(&cands.join("; ")),
+        ));
+    }
+    for q in &data.queue_audits {
+        ev.push(format!(
+            "{{\"name\":\"{}:{}\",\"cat\":\"queue\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+             \"pid\":1,\"tid\":{queue_tid},\"args\":{{\"app\":\"{}\",\"container\":\"{}\",\
+             \"used\":\"{}vc/{}MB\",\"pending\":\"{}\",\"share\":\"{:.4}\",\
+             \"fair_share\":\"{:.4}\",\"detail\":\"{}\"}}}}",
+            json_escape(&q.queue),
+            q.kind.as_str(),
+            us(q.t),
+            q.app.map(|a| a.to_string()).unwrap_or_else(|| "-".into()),
+            q.container
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
+            q.used_vcores,
+            q.used_memory_mb,
+            q.pending,
+            q.share,
+            q.fair_share,
+            json_escape(&q.detail),
         ));
     }
     format!(
@@ -212,6 +244,28 @@ pub fn to_jsonl(data: &TraceData) -> String {
                 .unwrap_or_else(|| "null".into()),
             json_escape(&d.reason),
             cands.join(",")
+        ));
+    }
+    for q in &data.queue_audits {
+        out.push_str(&format!(
+            "{{\"type\":\"queue\",\"t\":{:.6},\"queue\":\"{}\",\"kind\":\"{}\",\
+             \"app\":{},\"container\":{},\"used_vcores\":{},\"used_memory_mb\":{},\
+             \"pending\":{},\"share\":{:.6},\"fair_share\":{:.6},\"detail\":\"{}\"}}\n",
+            q.t,
+            json_escape(&q.queue),
+            q.kind.as_str(),
+            q.app
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "null".into()),
+            q.container
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "null".into()),
+            q.used_vcores,
+            q.used_memory_mb,
+            q.pending,
+            q.share,
+            q.fair_share,
+            json_escape(&q.detail),
         ));
     }
     for (name, v) in data.metrics.counters() {
@@ -376,6 +430,36 @@ mod tests {
         assert!(g.contains("== worker-1 =="));
         assert!(g.contains("mProject_1"));
         assert!(g.contains('#'));
+    }
+
+    #[test]
+    fn queue_audits_render_in_both_formats() {
+        use crate::audit::{QueueAudit, QueueEventKind};
+        let t = Tracer::enabled();
+        t.queue_audit(QueueAudit {
+            t: 4.0,
+            queue: "tenant-a".into(),
+            kind: QueueEventKind::Allocate,
+            app: Some(1),
+            container: Some(9),
+            used_vcores: 3,
+            used_memory_mb: 6144,
+            pending: 2,
+            share: 0.1875,
+            fair_share: 0.6667,
+            detail: "drf pick".into(),
+        });
+        let data = t.snapshot().unwrap();
+        let jsonl = to_jsonl(&data);
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"type\":\"queue\""));
+        assert!(jsonl.contains("\"queue\":\"tenant-a\""));
+        assert!(jsonl.contains("\"kind\":\"allocate\""));
+        assert!(jsonl.contains("\"used_vcores\":3"));
+        let perfetto = to_perfetto(&data);
+        assert!(perfetto.contains("tenant-a:allocate"));
+        assert!(perfetto.contains("\"queues\""));
+        assert_eq!(perfetto.matches('{').count(), perfetto.matches('}').count());
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod export;
 pub mod metrics;
 pub mod trace;
 
-pub use audit::{CandidateScore, Decision, DecisionKind};
+pub use audit::{CandidateScore, Decision, DecisionKind, QueueAudit, QueueEventKind};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use trace::{TraceData, TraceEvent, Tracer, TrackId};
 

@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use crate::audit::Decision;
+use crate::audit::{Decision, QueueAudit};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 
 /// Index of a named track (one per node, plus synthetic tracks such as
@@ -64,6 +64,8 @@ pub struct TraceData {
     pub events: Vec<TraceEvent>,
     /// Scheduler decision audit log, in decision order.
     pub decisions: Vec<Decision>,
+    /// Per-queue admission/allocation/preemption audit log, in event order.
+    pub queue_audits: Vec<QueueAudit>,
     /// Final counter/gauge/histogram values.
     pub metrics: MetricsSnapshot,
 }
@@ -74,6 +76,7 @@ struct TraceBuf {
     by_name: HashMap<String, u32>,
     events: Vec<TraceEvent>,
     decisions: Vec<Decision>,
+    queue_audits: Vec<QueueAudit>,
     metrics: MetricsRegistry,
 }
 
@@ -211,6 +214,13 @@ impl Tracer {
         inner.borrow_mut().decisions.push(decision);
     }
 
+    /// Appends one entry to the per-queue audit log.
+    #[inline]
+    pub fn queue_audit(&self, entry: QueueAudit) {
+        let Some(inner) = &self.inner else { return };
+        inner.borrow_mut().queue_audits.push(entry);
+    }
+
     /// Number of span/instant/counter events recorded so far. A disabled
     /// tracer reports 0 — by construction it cannot have allocated.
     pub fn event_count(&self) -> usize {
@@ -226,6 +236,22 @@ impl Tracer {
             .as_ref()
             .map(|i| i.borrow().decisions.len())
             .unwrap_or(0)
+    }
+
+    /// Number of queue audit entries recorded so far.
+    pub fn queue_audit_count(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|i| i.borrow().queue_audits.len())
+            .unwrap_or(0)
+    }
+
+    /// Runs `f` over the queue audit log (empty slice when disabled).
+    pub fn with_queue_audits<R>(&self, f: impl FnOnce(&[QueueAudit]) -> R) -> R {
+        match &self.inner {
+            Some(i) => f(&i.borrow().queue_audits),
+            None => f(&[]),
+        }
     }
 
     /// Current value of a registry counter (0 when absent or disabled).
@@ -252,6 +278,7 @@ impl Tracer {
             tracks: buf.tracks.clone(),
             events: buf.events.clone(),
             decisions: buf.decisions.clone(),
+            queue_audits: buf.queue_audits.clone(),
             metrics: buf.metrics.snapshot(),
         })
     }
@@ -319,6 +346,34 @@ mod tests {
             TraceEvent::Span { t0, t1, .. } => assert_eq!((*t0, *t1), (5.0, 5.0)),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn queue_audits_record_and_snapshot() {
+        use crate::audit::{QueueAudit, QueueEventKind};
+        let entry = QueueAudit {
+            t: 2.0,
+            queue: "default".into(),
+            kind: QueueEventKind::Usage,
+            app: None,
+            container: None,
+            used_vcores: 4,
+            used_memory_mb: 4096,
+            pending: 1,
+            share: 0.25,
+            fair_share: 1.0,
+            detail: String::new(),
+        };
+        let disabled = Tracer::disabled();
+        disabled.queue_audit(entry.clone());
+        assert_eq!(disabled.queue_audit_count(), 0);
+        disabled.with_queue_audits(|a| assert!(a.is_empty()));
+
+        let t = Tracer::enabled();
+        t.clone().queue_audit(entry.clone());
+        assert_eq!(t.queue_audit_count(), 1);
+        t.with_queue_audits(|a| assert_eq!(a[0], entry));
+        assert_eq!(t.snapshot().unwrap().queue_audits.len(), 1);
     }
 
     #[test]

@@ -22,8 +22,10 @@
 //! The RM is a synchronous state machine; the AM drives it from its event
 //! loop, modelling the AM–RM heartbeat with engine timers.
 
+pub mod queues;
 pub mod rm;
 pub mod types;
 
+pub use queues::{Admission, AdmissionPolicy, QueueSpec, QueuesConfig};
 pub use rm::{ResourceManager, RmConfig};
 pub use types::{AppId, Container, ContainerId, ContainerRequest, RequestId, Resource};

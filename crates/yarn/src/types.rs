@@ -57,6 +57,9 @@ pub struct Container {
     pub resource: Resource,
     /// The request this allocation satisfied.
     pub request: RequestId,
+    /// Inherited from the request: shields the container from cross-queue
+    /// preemption (AM containers).
+    pub unpreemptable: bool,
 }
 
 /// An application's ask for one container.
@@ -69,6 +72,10 @@ pub struct ContainerRequest {
     /// preferred node has capacity (static schedulers). When `true`, the
     /// RM falls back to any node with room.
     pub relax_locality: bool,
+    /// Containers from this request are never selected as cross-queue
+    /// preemption victims. Set for AM containers: killing the AM kills
+    /// the whole workflow, which preemption must not do.
+    pub unpreemptable: bool,
 }
 
 impl ContainerRequest {
@@ -78,6 +85,7 @@ impl ContainerRequest {
             resource,
             preference: None,
             relax_locality: true,
+            unpreemptable: false,
         }
     }
 
@@ -87,7 +95,14 @@ impl ContainerRequest {
             resource,
             preference: Some(node),
             relax_locality: false,
+            unpreemptable: false,
         }
+    }
+
+    /// Shields the resulting container from cross-queue preemption.
+    pub fn never_preempt(mut self) -> ContainerRequest {
+        self.unpreemptable = true;
+        self
     }
 }
 
@@ -112,8 +127,10 @@ mod tests {
     fn request_constructors() {
         let r = ContainerRequest::anywhere(Resource::new(1, 1000));
         assert!(r.relax_locality && r.preference.is_none());
+        assert!(!r.unpreemptable);
         let p = ContainerRequest::pinned(Resource::new(1, 1000), NodeId(3));
         assert!(!p.relax_locality);
         assert_eq!(p.preference, Some(NodeId(3)));
+        assert!(p.never_preempt().unpreemptable);
     }
 }
