@@ -30,6 +30,10 @@ echo "==> observability overhead smoke"
 ./target/release/bench_obs --quick BENCH_obs.json
 cat BENCH_obs.json
 
+echo "==> provenance store benchmark smoke"
+./target/release/bench_provdb --quick BENCH_provdb.json
+cat BENCH_provdb.json
+
 echo "==> trace determinism gate (same seed, twice, byte-identical)"
 ./target/release/hiway-trace --out-dir /tmp/hiway_trace1 > /dev/null
 ./target/release/hiway-trace --out-dir /tmp/hiway_trace2 > /dev/null
@@ -70,5 +74,20 @@ if ! cmp -s /tmp/multiwf_run1.txt results/multiwf.txt; then
   exit 1
 fi
 echo "multiwf deterministic, matches results/multiwf.txt"
+
+echo "==> crash-and-resume determinism gate (same seed, twice, byte-identical)"
+./target/release/resume > /tmp/resume_run1.txt
+./target/release/resume > /tmp/resume_run2.txt
+if ! cmp -s /tmp/resume_run1.txt /tmp/resume_run2.txt; then
+  echo "FAIL: resume experiment is not deterministic across runs" >&2
+  diff /tmp/resume_run1.txt /tmp/resume_run2.txt >&2 || true
+  exit 1
+fi
+if ! cmp -s /tmp/resume_run1.txt results/resume.txt; then
+  echo "FAIL: resume output drifted from results/resume.txt" >&2
+  diff results/resume.txt /tmp/resume_run1.txt >&2 || true
+  exit 1
+fi
+echo "resume deterministic, matches results/resume.txt"
 
 echo "CI OK"

@@ -8,5 +8,6 @@ pub mod fig6;
 pub mod fig8;
 pub mod fig9;
 pub mod multiwf;
+pub mod resume;
 pub mod table1;
 pub mod table2;

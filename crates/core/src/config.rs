@@ -116,6 +116,19 @@ pub struct HiwayConfig {
     /// configured with a matching queue tree (the submission fails
     /// otherwise).
     pub queue: Option<String>,
+    /// Directory of a durable provenance database (WAL + snapshot
+    /// segments). `None` keeps the historical in-memory store. When set,
+    /// every invocation document is on disk at commit time, so the store
+    /// survives AM crashes and process restarts (§3.5's MySQL/Couchbase
+    /// deployment made durable).
+    pub provdb_path: Option<String>,
+    /// When true, completed invocations found in the (warm, typically
+    /// durable) provenance store are *memoized*: a re-submitted or
+    /// crash-interrupted workflow skips every task whose signature and
+    /// staged-input digests match a committed invocation document, emits a
+    /// `memo:hit` span instead of execute phases, and resumes mid-DAG —
+    /// the paper's re-executable traces (§2.2) across process restarts.
+    pub resume: bool,
 }
 
 impl Default for HiwayConfig {
@@ -141,6 +154,8 @@ impl Default for HiwayConfig {
             write_trace: true,
             seed: 0,
             queue: None,
+            provdb_path: None,
+            resume: false,
         }
     }
 }
@@ -169,6 +184,18 @@ impl HiwayConfig {
 
     pub fn with_queue(mut self, queue: &str) -> HiwayConfig {
         self.queue = Some(queue.to_string());
+        self
+    }
+
+    /// Backs the provenance store with a durable database at `path`.
+    pub fn with_provdb_path(mut self, path: &str) -> HiwayConfig {
+        self.provdb_path = Some(path.to_string());
+        self
+    }
+
+    /// Enables cross-run memoization against a warm provenance store.
+    pub fn with_resume(mut self, resume: bool) -> HiwayConfig {
+        self.resume = resume;
         self
     }
 }
@@ -204,5 +231,10 @@ mod tests {
         assert_eq!(c.queue, None, "default targets the RM's default queue");
         let c = c.with_queue("tenant-a");
         assert_eq!(c.queue.as_deref(), Some("tenant-a"));
+        assert_eq!(c.provdb_path, None, "in-memory store by default");
+        assert!(!c.resume, "memoization is opt-in");
+        let c = c.with_provdb_path("/tmp/provdb").with_resume(true);
+        assert_eq!(c.provdb_path.as_deref(), Some("/tmp/provdb"));
+        assert!(c.resume);
     }
 }

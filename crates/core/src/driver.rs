@@ -40,6 +40,7 @@ use hiway_yarn::{AppId, Container, ContainerId, ContainerRequest};
 
 use crate::cluster::{Cluster, Tag};
 use crate::config::HiwayConfig;
+use crate::memo::{memo_key, MemoHit, MemoStore};
 use crate::provenance::ProvenanceManager;
 use crate::report::{TaskReport, WorkflowReport};
 use crate::scheduler::{make_scheduler, Scheduler};
@@ -194,6 +195,13 @@ struct Am {
     infra_failures: u32,
     task_failures: u32,
     speculative_attempts: u32,
+    /// Memo layer over the provenance database. Present whenever the run
+    /// records or consumes cross-run invocation memos (`resume` flag or a
+    /// durable `provdb_path`); lookups additionally require `resume`.
+    memo: Option<MemoStore>,
+    /// Completed invocations satisfied from the warm store this run.
+    memo_hits: u64,
+    memo_saved_secs: f64,
 }
 
 impl Am {
@@ -327,6 +335,16 @@ impl Runtime {
         config: HiwayConfig,
         prov_db: ProvDb,
     ) -> usize {
+        // A configured durable path supersedes the passed-in handle: the
+        // provenance database must outlive this process for resume to
+        // mean anything. Open failures surface as submission errors.
+        let (prov_db, open_error) = match config.provdb_path.as_deref() {
+            Some(path) => match ProvDb::open(path) {
+                Ok(db) => (db, None),
+                Err(e) => (ProvDb::new(), Some(format!("provenance store: {e}"))),
+            },
+            None => (prov_db, None),
+        };
         // Route the submission through the configured scheduler queue.
         // Queued submissions hold their AM request until admitted;
         // rejected ones (admission limit, unknown queue) become errored
@@ -353,6 +371,7 @@ impl Runtime {
                 (app, Some(format!("submission failed: {why}")))
             }
         };
+        let submit_error = open_error.or(submit_error);
         if submit_error.is_none() {
             // The AM container must never fall to cross-queue preemption:
             // killing the AM kills the whole workflow.
@@ -365,6 +384,10 @@ impl Runtime {
         let seed = config.seed ^ (self.ams.len() as u64).wrapping_mul(0x9e37_79b9);
         let scheduler = make_scheduler(config.scheduler);
         let t_submit = self.cluster.engine.now().as_secs();
+        // Memos are maintained whenever this run could feed (or is) a
+        // resume: an explicit resume flag, or any durable store.
+        let memo = (config.resume || config.provdb_path.is_some())
+            .then(|| MemoStore::new(prov_db.clone()));
         self.ams.push(Am {
             app,
             source,
@@ -388,6 +411,9 @@ impl Runtime {
             infra_failures: 0,
             task_failures: 0,
             speculative_attempts: 0,
+            memo,
+            memo_hits: 0,
+            memo_saved_secs: 0.0,
         });
         self.arm_heartbeat();
         self.ams.len() - 1
@@ -510,6 +536,18 @@ impl Runtime {
     /// [`Runtime::run_until`] to interrogate a paused run.
     pub fn provenance(&self, wf: usize) -> &ProvenanceManager {
         &self.ams[wf].prov
+    }
+
+    /// How many completed invocations workflow `wf` satisfied from the
+    /// warm provenance store instead of executing (resume runs only).
+    pub fn memo_hits(&self, wf: usize) -> u64 {
+        self.ams[wf].memo_hits
+    }
+
+    /// Execution seconds the warm store saved workflow `wf` (the sum of
+    /// the original makespans of all memo-satisfied invocations).
+    pub fn memo_saved_secs(&self, wf: usize) -> f64 {
+        self.ams[wf].memo_saved_secs
     }
 
     /// Progress counters of a workflow: `(done, total_known)` tasks.
@@ -1043,6 +1081,20 @@ impl Runtime {
                 .collect()
         };
         for id in ready {
+            // A nested check_ready (via a memo completion's discovery
+            // cascade) may have handled this task already.
+            if self.ams[wf].tasks[&id].state != TaskState::Waiting {
+                continue;
+            }
+            // Resume path: a committed invocation with this signature and
+            // these input digests never reaches a scheduler — it is
+            // satisfied from the warm provenance store on the spot.
+            if self.ams[wf].config.resume {
+                if let Some((key, hit)) = self.memo_lookup(wf, id) {
+                    self.complete_from_memo(wf, id, &key, hit);
+                    continue;
+                }
+            }
             let resource = {
                 let spec = &self.ams[wf].tasks[&id].spec;
                 self.container_resource_for(wf, spec)
@@ -1055,6 +1107,130 @@ impl Runtime {
             let req = am.scheduler.container_request(&task.spec, resource);
             self.cluster.rm.request(am.app, req);
         }
+    }
+
+    /// The memo key of a task, from its signature and the canonical
+    /// digests of its currently staged inputs. `None` when any input's
+    /// digest is unavailable (shouldn't happen for a ready task) — the
+    /// task then simply executes normally.
+    fn memo_key_for(&self, wf: usize, task_id: TaskId) -> Option<String> {
+        let spec = &self.ams[wf].tasks.get(&task_id)?.spec;
+        let mut digests = Vec::with_capacity(spec.inputs.len());
+        for path in &spec.inputs {
+            let digest = match self.cluster.external_file(path) {
+                // External inputs are not in HDFS; digest their stable
+                // identity the same way HDFS digests its files.
+                Some(ext) => {
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for &b in path.as_bytes().iter().chain(ext.size.to_le_bytes().iter()) {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x100_0000_01b3);
+                    }
+                    h
+                }
+                None => self.cluster.hdfs.content_digest(path).ok()?,
+            };
+            digests.push(digest);
+        }
+        Some(memo_key(&spec.name, &spec.command, &digests))
+    }
+
+    /// Looks a ready task up in the memo store. A hit must also promise
+    /// exactly the outputs the current spec declares — a changed workflow
+    /// definition falls back to real execution.
+    fn memo_lookup(&self, wf: usize, task_id: TaskId) -> Option<(String, MemoHit)> {
+        let memo = self.ams[wf].memo.as_ref()?;
+        let key = self.memo_key_for(wf, task_id)?;
+        let hit = memo.lookup(&key)?;
+        let spec = &self.ams[wf].tasks[&task_id].spec;
+        let declared: Vec<(String, u64)> = spec
+            .outputs
+            .iter()
+            .map(|o| (o.path.clone(), o.size))
+            .collect();
+        if hit.outputs != declared {
+            return None;
+        }
+        Some((key, hit))
+    }
+
+    /// Satisfies a task from the warm store: materialize its recorded
+    /// outputs in HDFS (free, like pre-staging — the data provably
+    /// existed), mark it done, emit a `memo:hit` instant plus an audit
+    /// row instead of execute phases, and run the normal completion tail
+    /// (iterative discovery, readiness cascade, finish check).
+    fn complete_from_memo(&mut self, wf: usize, task_id: TaskId, key: &str, hit: MemoHit) {
+        let now = self.cluster.engine.now().as_secs();
+        for (path, size) in &hit.outputs {
+            self.cluster.discard_uncommitted(path);
+            if !self.cluster.hdfs.exists(path) {
+                self.cluster.prestage(path, *size);
+            }
+        }
+        let am = &mut self.ams[wf];
+        am.memo_hits += 1;
+        am.memo_saved_secs += hit.saved_secs;
+        let task = am.tasks.get_mut(&task_id).expect("known task");
+        task.state = TaskState::Done;
+        task.t_ready = now;
+        task.t_start = now;
+        task.t_end = now;
+        let name = task.spec.name.clone();
+        am.reports.push(TaskReport {
+            id: task_id,
+            name: name.clone(),
+            node: format!("memo:{}", hit.node),
+            t_ready: now,
+            t_start: now,
+            t_end: now,
+            attempts: 0,
+            localize_secs: 0.0,
+            commit_secs: 0.0,
+        });
+        if self.tracer.is_enabled() {
+            let track = self.node_tracks.first().copied().unwrap_or_else(|| {
+                // Tracer enabled but set_tracer never ran: intern a track.
+                self.tracer.track("memo")
+            });
+            self.tracer.instant(
+                track,
+                "memo:hit",
+                "memo",
+                now,
+                &[
+                    ("task", task_id.0.to_string()),
+                    ("name", name.clone()),
+                    ("key", key.to_string()),
+                    ("saved_secs", format!("{:.6}", hit.saved_secs)),
+                ],
+            );
+            self.tracer.inc("driver.memo_hits", 1);
+            self.tracer
+                .observe("driver.memo_saved_secs", hit.saved_secs);
+            self.tracer.audit(hiway_obs::Decision {
+                t: now,
+                policy: "memo",
+                kind: hiway_obs::DecisionKind::Memo,
+                node: 0,
+                node_name: format!("memo:{}", hit.node),
+                candidates: Vec::new(),
+                winner: Some(task_id.0),
+                reason: format!(
+                    "invocation {name} satisfied from warm store (key {key}, saved {:.1}s)",
+                    hit.saved_secs
+                ),
+            });
+        }
+        // Completion tail, same as finish_task's.
+        match self.ams[wf].source.on_task_completed(task_id) {
+            Ok(new_tasks) => self.register_tasks(wf, new_tasks),
+            Err(e) => {
+                self.fail_workflow(wf, e.to_string());
+                return;
+            }
+        }
+        self.check_ready(wf);
+        self.maybe_finish(wf);
     }
 
     // ----- worker container lifecycle --------------------------------------
@@ -1592,6 +1768,30 @@ impl Runtime {
         self.containers.remove(&container.id);
         self.cluster.rm.release(container.id);
         self.ams[wf].prov.record_task(event);
+        // Memoize the committed invocation: with a durable store this
+        // lands in the WAL right now, so a crash immediately after the
+        // output commit still leaves a resumable record.
+        if self.ams[wf].memo.is_some() {
+            if let Some(key) = self.memo_key_for(wf, task_id) {
+                let node_name = self.cluster.node_name(container.node).to_string();
+                let am = &self.ams[wf];
+                let task = &am.tasks[&task_id];
+                let outputs: Vec<(String, u64)> = task
+                    .spec
+                    .outputs
+                    .iter()
+                    .map(|o| (o.path.clone(), o.size))
+                    .collect();
+                let makespan = (task.t_end - task.t_start).max(0.0);
+                am.memo.as_ref().expect("checked").record(
+                    &key,
+                    &task.spec.name,
+                    &node_name,
+                    &outputs,
+                    makespan,
+                );
+            }
+        }
         self.ams[wf].reports.push(report);
         self.charge_master_overhead(false);
 
@@ -1800,6 +2000,22 @@ impl Runtime {
         let am = &mut self.ams[wf];
         am.done = true;
         am.t_finish = now;
+        // Deterministic compaction point: fold the run's WAL into a
+        // snapshot segment now that the workflow is complete (no-op for
+        // in-memory stores). Background compaction would be unsound in
+        // virtual time; end-of-run is the natural quiesce point.
+        let _ = am.prov.db().compact();
+        if self.tracer.is_enabled() {
+            let stats = am.prov.db().stats();
+            self.tracer
+                .set_gauge("provdb.wal_records", stats.wal_records as f64);
+            self.tracer
+                .set_gauge("provdb.wal_bytes", stats.wal_bytes as f64);
+            self.tracer
+                .set_gauge("provdb.wal_rotations", stats.wal_rotations as f64);
+            self.tracer
+                .set_gauge("provdb.compactions", stats.compactions as f64);
+        }
         if let Some(c) = am.am_container.take() {
             self.cluster.rm.release(c.id);
         }

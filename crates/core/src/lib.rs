@@ -28,6 +28,7 @@ pub mod cluster;
 pub mod config;
 pub mod driver;
 pub mod faults;
+pub mod memo;
 pub mod provenance;
 pub mod report;
 pub mod scheduler;
@@ -36,5 +37,6 @@ pub use cluster::Cluster;
 pub use config::{HiwayConfig, SchedulerPolicy};
 pub use driver::Runtime;
 pub use faults::{FaultConfig, FaultInjector, FaultPlan};
+pub use memo::{memo_key, MemoHit, MemoStore};
 pub use provenance::ProvenanceManager;
 pub use report::{TaskReport, WorkflowReport};

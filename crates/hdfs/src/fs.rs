@@ -133,6 +133,24 @@ impl Hdfs {
             .ok_or_else(|| HdfsError::NotFound(path.to_string()))
     }
 
+    /// Stable content digest of a file, usable as a memoization key
+    /// component across processes and runs. The simulation models file
+    /// *metadata* rather than bytes, so the digest is FNV-1a 64 over the
+    /// canonical identity we do track — path and size — which is exactly
+    /// what stays invariant when the same workflow stages the same inputs
+    /// again. Placement (block replicas) deliberately does not contribute:
+    /// two runs with different block placement but identical logical
+    /// content must produce identical digests.
+    pub fn content_digest(&self, path: &str) -> Result<u64, HdfsError> {
+        let size = self.len(path)?;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in path.as_bytes().iter().chain(size.to_le_bytes().iter()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(h)
+    }
+
     /// True when the namespace is empty.
     pub fn is_empty(&self) -> bool {
         self.files.is_empty()
@@ -760,5 +778,26 @@ mod tests {
         assert_eq!(h.len("/empty").unwrap(), 0);
         let plan = h.read_plan("/empty", NodeId(2)).unwrap();
         assert_eq!(plan.total_bytes(), 0);
+    }
+
+    #[test]
+    fn content_digest_is_placement_independent_and_content_sensitive() {
+        let mut a = fs(3);
+        a.create("/x", 100, NodeId(0)).unwrap();
+        let mut b = fs(5); // different cluster, different placement
+        b.create("/x", 100, NodeId(3)).unwrap();
+        assert_eq!(
+            a.content_digest("/x").unwrap(),
+            b.content_digest("/x").unwrap(),
+            "same logical content digests identically regardless of placement"
+        );
+        b.delete("/x").unwrap();
+        b.create("/x", 101, NodeId(3)).unwrap();
+        assert_ne!(
+            a.content_digest("/x").unwrap(),
+            b.content_digest("/x").unwrap(),
+            "size change changes the digest"
+        );
+        assert!(a.content_digest("/missing").is_err());
     }
 }

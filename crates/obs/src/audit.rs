@@ -16,6 +16,10 @@ pub enum DecisionKind {
     Select,
     /// Ahead-of-execution placement by a static policy's `plan()`.
     Plan,
+    /// The task never reached a scheduler: a committed invocation with the
+    /// same signature and input digests existed in the warm provenance
+    /// store, so the driver satisfied it from memo instead of executing.
+    Memo,
 }
 
 impl DecisionKind {
@@ -23,6 +27,7 @@ impl DecisionKind {
         match self {
             DecisionKind::Select => "select",
             DecisionKind::Plan => "plan",
+            DecisionKind::Memo => "memo",
         }
     }
 }

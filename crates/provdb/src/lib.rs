@@ -17,9 +17,31 @@
 //! The Workflow Scheduler's statistics lookups (latest observed runtime of
 //! a task signature on a machine, file sizes, transfer times — §3.4) are
 //! expressed as queries against this store in `hiway-core`.
+//!
+//! Since the durability PR the store also has a disk engine: an
+//! append-only, CRC-framed write-ahead log with segment rotation
+//! ([`wal`]), explicit compaction into sorted snapshot segments
+//! ([`segment`]), and crash-consistent recovery that truncates torn tails
+//! and reconstructs collections *and index definitions* ([`recover`]).
+//! [`ProvDb::open`] returns a database whose every mutation is logged
+//! before the call returns; [`ProvDb::in_memory`] keeps the historical
+//! volatile behavior.
 
 pub mod query;
+pub mod recover;
+pub mod segment;
 pub mod store;
+pub mod wal;
 
 pub use query::{Aggregate, Filter, Op};
-pub use store::{Collection, DocId, ProvDb};
+pub use store::{Collection, DocId, DurableOptions, ProvDb};
+pub use wal::DurabilityStats;
+
+/// Unique scratch directory for this crate's tests.
+#[cfg(test)]
+pub(crate) fn test_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hiway-provdb-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}

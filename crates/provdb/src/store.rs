@@ -1,17 +1,69 @@
-//! Collections, documents, and hash indexes.
+//! Collections, documents, hash indexes, and the durable engine hookup.
+//!
+//! A [`ProvDb`] is either **in-memory** (the historical default — state
+//! dies with the process) or **durable**: opened on a directory via
+//! [`ProvDb::open`], where every mutation is appended to a write-ahead
+//! log before the call returns and [`ProvDb::compact`] folds the log into
+//! a sorted snapshot segment (see [`crate::wal`], [`crate::segment`],
+//! [`crate::recover`]). Both modes expose the identical API; existing
+//! in-memory callers compile unchanged.
+//!
+//! Lock ordering for durable databases: the WAL mutex is always acquired
+//! **before** any collection or map lock, by mutators and by compaction
+//! alike, so a write's memory update and its log append are atomic with
+//! respect to compaction's state capture.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use std::sync::RwLock;
+use std::sync::{Mutex, MutexGuard, RwLock};
 
 use hiway_format::json::Json;
 
 use crate::query::{Filter, Query};
+use crate::recover::recover;
+use crate::segment::{write_snapshot, CollectionImage, DbImage};
+use crate::wal::{snap_path, wal_path, DurabilityStats, Record, Wal};
 
 /// Identifier of a document within its collection (dense, insertion order).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct DocId(pub u64);
+
+/// Tuning knobs of a durable database.
+#[derive(Clone, Copy, Debug)]
+pub struct DurableOptions {
+    /// WAL segment rotation threshold, in frame bytes. Small values force
+    /// frequent rotation (used by tests); the default keeps segments at a
+    /// few MiB like a classic log-structured store.
+    pub segment_bytes: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> DurableOptions {
+        DurableOptions {
+            segment_bytes: 4 << 20,
+        }
+    }
+}
+
+/// The durable side of a database: directory + active WAL.
+struct DurableEngine {
+    dir: PathBuf,
+    wal: Wal,
+    options: DurableOptions,
+}
+
+impl DurableEngine {
+    fn append(&mut self, record: &Record) {
+        self.wal
+            .append(record)
+            .expect("provdb WAL append failed (disk error)");
+    }
+}
+
+/// Shared handle to the durable engine; `None` on in-memory databases.
+type Durable = Arc<Mutex<DurableEngine>>;
 
 /// Canonical index key for a scalar JSON value. Non-scalars are not
 /// indexable (documents lacking the field, or holding arrays/objects,
@@ -33,22 +85,13 @@ struct CollectionInner {
     indexes: HashMap<String, HashMap<String, Vec<DocId>>>,
 }
 
-/// A named collection of JSON documents. Cheap to clone (shared handle).
-#[derive(Clone, Default)]
-pub struct Collection {
-    inner: Arc<RwLock<CollectionInner>>,
-}
-
-impl Collection {
-    /// Inserts a document, maintaining any existing indexes.
-    pub fn insert(&self, doc: Json) -> DocId {
-        let mut inner = self.inner.write().expect("provdb lock poisoned");
-        let id = DocId(inner.docs.len() as u64);
-        let fields: Vec<String> = inner.indexes.keys().cloned().collect();
+impl CollectionInner {
+    fn insert_unlogged(&mut self, doc: Json) -> DocId {
+        let id = DocId(self.docs.len() as u64);
+        let fields: Vec<String> = self.indexes.keys().cloned().collect();
         for field in fields {
             if let Some(key) = doc.get(&field).and_then(index_key) {
-                inner
-                    .indexes
+                self.indexes
                     .get_mut(&field)
                     .expect("listed above")
                     .entry(key)
@@ -56,20 +99,118 @@ impl Collection {
                     .push(id);
             }
         }
-        inner.docs.push(doc);
+        self.docs.push(doc);
         id
     }
 
-    /// Builds (or rebuilds) a hash index over `field`.
-    pub fn create_index(&self, field: &str) {
-        let mut inner = self.inner.write().expect("provdb lock poisoned");
+    fn build_index(&mut self, field: &str) {
         let mut index: HashMap<String, Vec<DocId>> = HashMap::new();
-        for (i, doc) in inner.docs.iter().enumerate() {
+        for (i, doc) in self.docs.iter().enumerate() {
             if let Some(key) = doc.get(field).and_then(index_key) {
                 index.entry(key).or_default().push(DocId(i as u64));
             }
         }
-        inner.indexes.insert(field.to_string(), index);
+        self.indexes.insert(field.to_string(), index);
+    }
+}
+
+/// A named collection of JSON documents. Cheap to clone (shared handle).
+#[derive(Clone, Default)]
+pub struct Collection {
+    inner: Arc<RwLock<CollectionInner>>,
+    /// `(collection name, engine)` when the parent database is durable.
+    durable: Option<(String, Durable)>,
+}
+
+impl Collection {
+    /// WAL guard honoring the global lock order (WAL before collection).
+    fn wal_guard(&self) -> Option<MutexGuard<'_, DurableEngine>> {
+        self.durable
+            .as_ref()
+            .map(|(_, engine)| engine.lock().expect("provdb wal lock poisoned"))
+    }
+
+    /// Inserts a document, maintaining any existing indexes. On durable
+    /// databases the insert is in the WAL before this returns.
+    pub fn insert(&self, doc: Json) -> DocId {
+        let mut wal = self.wal_guard();
+        let serialized = wal.as_ref().map(|_| doc.to_compact());
+        let id = self
+            .inner
+            .write()
+            .expect("provdb lock poisoned")
+            .insert_unlogged(doc);
+        if let (Some(engine), Some(doc)) = (wal.as_deref_mut(), serialized) {
+            let name = self
+                .durable
+                .as_ref()
+                .expect("wal implies durable")
+                .0
+                .clone();
+            engine.append(&Record::Insert {
+                collection: name,
+                doc,
+            });
+        }
+        id
+    }
+
+    /// Inserts a batch of documents under a single write guard (and a
+    /// single WAL acquisition) — the bulk path `import_jsonl` and the
+    /// dump loader use, instead of re-acquiring the lock per line.
+    pub fn insert_many(&self, docs: Vec<Json>) -> Vec<DocId> {
+        let mut wal = self.wal_guard();
+        let name = self.durable.as_ref().map(|(n, _)| n.clone());
+        let mut ids = Vec::with_capacity(docs.len());
+        {
+            let mut inner = self.inner.write().expect("provdb lock poisoned");
+            for doc in docs {
+                let serialized = wal.as_ref().map(|_| doc.to_compact());
+                ids.push(inner.insert_unlogged(doc));
+                if let (Some(engine), Some(doc)) = (wal.as_deref_mut(), serialized) {
+                    engine.append(&Record::Insert {
+                        collection: name.clone().expect("wal implies durable"),
+                        doc,
+                    });
+                }
+            }
+        }
+        ids
+    }
+
+    /// Builds a hash index over `field`. Idempotent: an already-indexed
+    /// field is left untouched (incremental maintenance keeps existing
+    /// indexes exact), so re-opening callers don't bloat the WAL.
+    pub fn create_index(&self, field: &str) {
+        let mut wal = self.wal_guard();
+        {
+            let mut inner = self.inner.write().expect("provdb lock poisoned");
+            if inner.indexes.contains_key(field) {
+                return;
+            }
+            inner.build_index(field);
+        }
+        if let Some(engine) = wal.as_deref_mut() {
+            let name = self
+                .durable
+                .as_ref()
+                .expect("wal implies durable")
+                .0
+                .clone();
+            engine.append(&Record::Index {
+                collection: name,
+                field: field.to_string(),
+            });
+        }
+    }
+
+    /// Fields with a hash index, sorted — persisted by dumps and durable
+    /// snapshots so restored databases keep serving indexed lookups.
+    pub fn index_fields(&self) -> Vec<String> {
+        let inner = self.inner.read().expect("provdb lock poisoned");
+        let mut fields: Vec<String> = inner.indexes.keys().cloned().collect();
+        fields.sort();
+        fields
     }
 
     pub fn len(&self) -> usize {
@@ -136,13 +277,16 @@ impl Collection {
     }
 
     /// Appends documents from a JSON-lines dump; returns how many loaded.
+    /// Parsing happens before any insert, under no lock; the documents
+    /// then land in one [`Collection::insert_many`] batch — a dump either
+    /// imports fully or not at all.
     pub fn import_jsonl(&self, text: &str) -> Result<usize, String> {
-        let mut n = 0;
+        let mut docs = Vec::new();
         for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
-            let doc = Json::parse(line).map_err(|e| e.to_string())?;
-            self.insert(doc);
-            n += 1;
+            docs.push(Json::parse(line).map_err(|e| e.to_string())?);
         }
+        let n = docs.len();
+        self.insert_many(docs);
         Ok(n)
     }
 
@@ -159,21 +303,112 @@ impl Collection {
     }
 }
 
-/// The database: a set of named collections.
+/// The database: a set of named collections, optionally durable.
 #[derive(Clone, Default)]
 pub struct ProvDb {
     collections: Arc<RwLock<HashMap<String, Collection>>>,
+    durable: Option<Durable>,
 }
 
 impl ProvDb {
+    /// An in-memory database (state dies with the process).
     pub fn new() -> ProvDb {
         ProvDb::default()
     }
 
-    /// Gets or creates a collection.
+    /// Alias of [`ProvDb::new`], named for symmetry with [`ProvDb::open`].
+    pub fn in_memory() -> ProvDb {
+        ProvDb::default()
+    }
+
+    /// Opens (or creates) a durable database rooted at `path`, recovering
+    /// collections, documents, **and index definitions** from the newest
+    /// snapshot segment plus the WAL. A torn WAL tail — a crash mid-append
+    /// or any byte-truncation of the log — is silently truncated; the
+    /// recovered state is always a prefix of the committed writes.
+    pub fn open(path: impl AsRef<Path>) -> Result<ProvDb, String> {
+        ProvDb::open_with(path, DurableOptions::default())
+    }
+
+    /// [`ProvDb::open`] with explicit tuning (small `segment_bytes` forces
+    /// WAL rotation; tests use it to cover multi-segment recovery).
+    pub fn open_with(path: impl AsRef<Path>, options: DurableOptions) -> Result<ProvDb, String> {
+        let dir = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| format!("provdb dir {dir:?}: {e}"))?;
+        let recovered = recover(&dir).map_err(|e| format!("provdb recovery in {dir:?}: {e}"))?;
+        let wal = Wal::create(&dir, recovered.next_seq, options.segment_bytes)
+            .map_err(|e| format!("provdb WAL create in {dir:?}: {e}"))?;
+        let engine: Durable = Arc::new(Mutex::new(DurableEngine { dir, wal, options }));
+        let mut map = HashMap::new();
+        for (name, image) in recovered.image {
+            let mut inner = CollectionInner::default();
+            for doc in &image.docs {
+                let parsed = Json::parse(doc).map_err(|e| {
+                    format!("provdb: unreadable document in collection {name}: {e}")
+                })?;
+                inner.docs.push(parsed);
+            }
+            for field in &image.index_fields {
+                inner.build_index(field);
+            }
+            map.insert(
+                name.clone(),
+                Collection {
+                    inner: Arc::new(RwLock::new(inner)),
+                    durable: Some((name, engine.clone())),
+                },
+            );
+        }
+        Ok(ProvDb {
+            collections: Arc::new(RwLock::new(map)),
+            durable: Some(engine),
+        })
+    }
+
+    /// Whether this database writes through to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The durable directory, if any.
+    pub fn path(&self) -> Option<PathBuf> {
+        self.durable
+            .as_ref()
+            .map(|e| e.lock().expect("provdb wal lock poisoned").dir.clone())
+    }
+
+    /// WAL/compaction counters since this handle opened (zeros for
+    /// in-memory databases).
+    pub fn stats(&self) -> DurabilityStats {
+        self.durable
+            .as_ref()
+            .map(|e| e.lock().expect("provdb wal lock poisoned").wal.stats)
+            .unwrap_or_default()
+    }
+
+    /// Gets or creates a collection. Creation on a durable database is
+    /// logged, so empty collections survive restarts.
     pub fn collection(&self, name: &str) -> Collection {
+        // Lock order: WAL mutex before the collections map.
+        let mut wal = self
+            .durable
+            .as_ref()
+            .map(|e| e.lock().expect("provdb wal lock poisoned"));
         let mut map = self.collections.write().expect("provdb lock poisoned");
-        map.entry(name.to_string()).or_default().clone()
+        if let Some(existing) = map.get(name) {
+            return existing.clone();
+        }
+        let col = Collection {
+            inner: Arc::default(),
+            durable: self.durable.as_ref().map(|e| (name.to_string(), e.clone())),
+        };
+        map.insert(name.to_string(), col.clone());
+        if let Some(engine) = wal.as_deref_mut() {
+            engine.append(&Record::Collection {
+                name: name.to_string(),
+            });
+        }
+        col
     }
 
     pub fn collection_names(&self) -> Vec<String> {
@@ -188,35 +423,113 @@ impl ProvDb {
         names
     }
 
+    /// Deterministic, explicit compaction: folds the WAL (and any previous
+    /// snapshot) into a single sorted snapshot segment, then deletes the
+    /// superseded files — tombstone-free GC, since the store is
+    /// append-only. No background thread: the caller picks the moment.
+    /// No-op on in-memory databases.
+    pub fn compact(&self) -> Result<(), String> {
+        let Some(engine) = self.durable.as_ref() else {
+            return Ok(());
+        };
+        let mut engine = engine.lock().expect("provdb wal lock poisoned");
+        // Capture the image under the WAL lock: every mutator also holds
+        // it, so the capture is consistent across collections.
+        let image: DbImage = {
+            let map = self.collections.read().expect("provdb lock poisoned");
+            let mut names: Vec<&String> = map.keys().collect();
+            names.sort();
+            names
+                .into_iter()
+                .map(|name| {
+                    let col = &map[name];
+                    let inner = col.inner.read().expect("provdb lock poisoned");
+                    let mut fields: Vec<String> = inner.indexes.keys().cloned().collect();
+                    fields.sort();
+                    (
+                        name.clone(),
+                        CollectionImage {
+                            index_fields: fields,
+                            docs: inner.docs.iter().map(Json::to_compact).collect(),
+                        },
+                    )
+                })
+                .collect()
+        };
+        let old_wal_seq = engine.wal.seq;
+        let snap_seq = old_wal_seq + 1;
+        write_snapshot(&engine.dir, snap_seq, &image)
+            .map_err(|e| format!("provdb snapshot: {e}"))?;
+        // GC: WAL segments folded into the snapshot, and older snapshots.
+        for seq in 1..=old_wal_seq {
+            let _ = std::fs::remove_file(wal_path(&engine.dir, seq));
+            let _ = std::fs::remove_file(snap_path(&engine.dir, seq));
+        }
+        let stats = engine.wal.stats;
+        let dir = engine.dir.clone();
+        let segment_bytes = engine.options.segment_bytes;
+        engine.wal = Wal::create(&dir, snap_seq + 1, segment_bytes)
+            .map_err(|e| format!("provdb WAL rotate after compaction: {e}"))?;
+        engine.wal.stats = stats;
+        engine.wal.stats.compactions += 1;
+        Ok(())
+    }
+
     /// Serializes every collection to a single durable dump: a header
-    /// line `#collection <name>` followed by that collection's JSON
-    /// lines. The moral equivalent of a `mysqldump` of the provenance
-    /// database (§3.5's long-term storage concern).
+    /// line `#collection <name>`, that collection's index definitions as
+    /// `#index <field>` lines, then its JSON lines. The moral equivalent
+    /// of a `mysqldump` of the provenance database (§3.5's long-term
+    /// storage concern).
     pub fn export_all(&self) -> String {
         let mut out = String::new();
         for name in self.collection_names() {
             out.push_str(&format!("#collection {name}\n"));
-            out.push_str(&self.collection(&name).export_jsonl());
+            let col = self.collection(&name);
+            for field in col.index_fields() {
+                out.push_str(&format!("#index {field}\n"));
+            }
+            out.push_str(&col.export_jsonl());
         }
         out
     }
 
     /// Appends the contents of a dump produced by [`ProvDb::export_all`].
-    /// Returns the number of documents loaded.
+    /// Index definitions round-trip: a restored database serves
+    /// `find_eq` from the same indexes the original had. Documents load
+    /// in one batch per collection section. Returns the number of
+    /// documents loaded.
     pub fn import_all(&self, dump: &str) -> Result<usize, String> {
         let mut current: Option<Collection> = None;
+        let mut pending: Vec<Json> = Vec::new();
         let mut loaded = 0;
+        let flush = |col: &Option<Collection>, pending: &mut Vec<Json>| {
+            if let Some(col) = col {
+                if !pending.is_empty() {
+                    col.insert_many(std::mem::take(pending));
+                }
+            }
+        };
         for line in dump.lines().map(str::trim).filter(|l| !l.is_empty()) {
             if let Some(name) = line.strip_prefix("#collection ") {
+                flush(&current, &mut pending);
                 current = Some(self.collection(name.trim()));
                 continue;
             }
-            let col = current
-                .as_ref()
-                .ok_or_else(|| "document before any #collection header".to_string())?;
-            col.import_jsonl(line)?;
+            if let Some(field) = line.strip_prefix("#index ") {
+                let col = current
+                    .as_ref()
+                    .ok_or_else(|| "index before any #collection header".to_string())?;
+                flush(&current, &mut pending);
+                col.create_index(field.trim());
+                continue;
+            }
+            if current.is_none() {
+                return Err("document before any #collection header".to_string());
+            }
+            pending.push(Json::parse(line).map_err(|e| e.to_string())?);
             loaded += 1;
         }
+        flush(&current, &mut pending);
         Ok(loaded)
     }
 }
@@ -278,6 +591,28 @@ mod tests {
     }
 
     #[test]
+    fn insert_many_matches_serial_inserts() {
+        let serial = Collection::default();
+        serial.create_index("task");
+        let batch = Collection::default();
+        batch.create_index("task");
+        let docs: Vec<Json> = (0..10)
+            .map(|i| doc("t", &format!("n{i}"), i as f64))
+            .collect();
+        for d in docs.clone() {
+            serial.insert(d);
+        }
+        let ids = batch.insert_many(docs);
+        assert_eq!(ids.len(), 10);
+        assert_eq!(ids[0], DocId(0));
+        assert_eq!(batch.snapshot(), serial.snapshot());
+        assert_eq!(
+            batch.find_eq("task", &Json::String("t".into())).len(),
+            serial.find_eq("task", &Json::String("t".into())).len()
+        );
+    }
+
+    #[test]
     fn export_import_round_trip() {
         let c = Collection::default();
         c.insert(doc("a", "n0", 1.5));
@@ -287,6 +622,13 @@ mod tests {
         assert_eq!(c2.import_jsonl(&dump).unwrap(), 2);
         assert_eq!(c2.snapshot(), c.snapshot());
         assert!(c2.import_jsonl("garbage").is_err());
+    }
+
+    #[test]
+    fn failed_import_inserts_nothing() {
+        let c = Collection::default();
+        assert!(c.import_jsonl("{\"ok\":1}\ngarbage\n{\"ok\":2}").is_err());
+        assert!(c.is_empty(), "batch import is atomic");
     }
 
     #[test]
@@ -349,5 +691,181 @@ mod dump_tests {
         assert_eq!(restored.export_all(), dump, "dump is stable");
 
         assert!(restored.import_all("{\"stray\": 1}").is_err());
+    }
+
+    /// Regression: index definitions used to be lost on round-trip — a
+    /// freshly imported database silently fell back to full scans in
+    /// `find_eq`. Dumps now carry `#index` lines and rebuild on import.
+    #[test]
+    fn dump_round_trip_preserves_index_definitions() {
+        let db = ProvDb::new();
+        let tasks = db.collection("tasks");
+        tasks.insert(Json::object().with("name", "a"));
+        tasks.create_index("name");
+        tasks.create_index("node");
+        db.collection("files"); // no indexes on this one
+
+        let dump = db.export_all();
+        assert!(dump.contains("#index name"));
+        assert!(dump.contains("#index node"));
+
+        let restored = ProvDb::new();
+        restored.import_all(&dump).unwrap();
+        assert_eq!(
+            restored.collection("tasks").index_fields(),
+            vec!["name".to_string(), "node".to_string()]
+        );
+        assert!(restored.collection("files").index_fields().is_empty());
+        // Second-generation dump is identical (stability with indexes).
+        assert_eq!(restored.export_all(), dump);
+        // The restored index actually serves lookups (and stays exact as
+        // new documents arrive).
+        let r = restored.collection("tasks");
+        r.insert(Json::object().with("name", "b"));
+        assert_eq!(r.find_eq("name", &Json::String("b".into())).len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod durable_tests {
+    use super::*;
+
+    #[test]
+    fn durable_round_trip_across_reopen() {
+        let dir = crate::test_dir("store_reopen");
+        {
+            let db = ProvDb::open(&dir).unwrap();
+            assert!(db.is_durable());
+            assert_eq!(db.path().unwrap(), dir);
+            let tasks = db.collection("tasks");
+            tasks.create_index("name");
+            tasks.insert(Json::object().with("name", "a").with("rt", 1.5));
+            tasks.insert(Json::object().with("name", "b").with("rt", 2.5));
+            db.collection("empty"); // must survive despite zero documents
+            assert_eq!(db.stats().wal_records, 5);
+        }
+        let db = ProvDb::open(&dir).unwrap();
+        assert_eq!(
+            db.collection_names(),
+            vec!["empty".to_string(), "tasks".to_string()]
+        );
+        let tasks = db.collection("tasks");
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks.index_fields(), vec!["name".to_string()]);
+        assert_eq!(tasks.find_eq("name", &Json::String("a".into())).len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_gcs_wal() {
+        let dir = crate::test_dir("store_compact");
+        let export = {
+            let db = ProvDb::open_with(
+                &dir,
+                DurableOptions {
+                    segment_bytes: 128, // force rotation every few records
+                },
+            )
+            .unwrap();
+            let t = db.collection("t");
+            t.create_index("i");
+            for i in 0..50u64 {
+                t.insert(Json::object().with("i", i));
+            }
+            assert!(db.stats().wal_rotations > 0, "tiny segments must rotate");
+            db.compact().unwrap();
+            assert_eq!(db.stats().compactions, 1);
+            // After compaction: exactly one snapshot + one (fresh) WAL.
+            let mut snaps = 0;
+            let mut wals = 0;
+            for e in std::fs::read_dir(&dir).unwrap() {
+                let name = e.unwrap().file_name().to_string_lossy().to_string();
+                if name.starts_with("snap-") {
+                    snaps += 1;
+                }
+                if name.starts_with("wal-") {
+                    wals += 1;
+                }
+            }
+            assert_eq!((snaps, wals), (1, 1));
+            // Writes after compaction land in the fresh WAL.
+            t.insert(Json::object().with("i", 50u64));
+            db.export_all()
+        };
+        let db = ProvDb::open(&dir).unwrap();
+        assert_eq!(db.collection("t").len(), 51);
+        assert_eq!(db.collection("t").index_fields(), vec!["i".to_string()]);
+        assert_eq!(db.export_all(), export);
+        // Compacting twice is idempotent on state.
+        db.compact().unwrap();
+        db.compact().unwrap();
+        let db2 = ProvDb::open(&dir).unwrap();
+        assert_eq!(db2.export_all(), export);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression: every `open` starts a fresh WAL segment, so a store
+    /// reopened N times has N generations of segments. Recovery must
+    /// seal each accepted tail — otherwise the next recovery mistakes an
+    /// old generation's unsealed tail for the end of the log and drops
+    /// every later generation's writes.
+    #[test]
+    fn writes_survive_many_reopen_generations() {
+        let dir = crate::test_dir("store_generations");
+        for gen in 0..4u64 {
+            let db = ProvDb::open(&dir).unwrap();
+            let t = db.collection("t");
+            assert_eq!(t.len() as u64, gen, "all prior generations visible");
+            t.insert(Json::object().with("gen", gen));
+        }
+        let db = ProvDb::open(&dir).unwrap();
+        let docs = db.collection("t").snapshot();
+        let gens: Vec<u64> = docs
+            .iter()
+            .map(|d| d.get("gen").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert_eq!(gens, vec![0, 1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_db_reports_no_durability() {
+        let db = ProvDb::in_memory();
+        assert!(!db.is_durable());
+        assert_eq!(db.path(), None);
+        assert_eq!(db.stats(), DurabilityStats::default());
+        db.compact().unwrap(); // no-op, not an error
+    }
+
+    #[test]
+    fn concurrent_durable_inserts_are_safe_and_recoverable() {
+        let dir = crate::test_dir("store_concurrent");
+        {
+            let db = ProvDb::open(&dir).unwrap();
+            let c = db.collection("t");
+            c.create_index("task");
+            let mut handles = Vec::new();
+            for t in 0..4 {
+                let c = c.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..50 {
+                        c.insert(
+                            Json::object()
+                                .with("task", format!("t{t}"))
+                                .with("i", i as u64),
+                        );
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(c.len(), 200);
+        }
+        let db = ProvDb::open(&dir).unwrap();
+        let c = db.collection("t");
+        assert_eq!(c.len(), 200);
+        assert_eq!(c.find_eq("task", &Json::String("t2".into())).len(), 50);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

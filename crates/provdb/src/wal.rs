@@ -1,0 +1,418 @@
+//! The append-only write-ahead log.
+//!
+//! Every mutation of a durable [`crate::ProvDb`] — collection creation,
+//! document insert, index definition — is appended to the active WAL
+//! segment before the call returns. Records are framed as
+//!
+//! ```text
+//! [payload_len: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! and the payload encoding is byte-deterministic (op byte followed by
+//! length-prefixed UTF-8 strings; documents serialize through
+//! [`Json::to_compact`], which preserves field order). A record is
+//! *committed* once its full frame is on disk; a crash mid-frame leaves a
+//! torn tail that recovery truncates, so the recovered database always
+//! equals a prefix of the committed writes — never a partial record.
+//!
+//! Segments rotate at a size threshold (`wal-NNNNNN.log`, monotonically
+//! numbered); [`crate::ProvDb::compact`] folds all of them into a sorted
+//! snapshot segment and deletes them.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use hiway_format::json::Json;
+
+/// Magic bytes opening every WAL segment file.
+pub const WAL_MAGIC: &[u8; 8] = b"HIWAYWL1";
+/// Magic bytes opening every snapshot segment file.
+pub const SNAP_MAGIC: &[u8; 8] = b"HIWAYSG1";
+
+/// Upper bound on a single record payload — anything larger in a length
+/// field is corruption, not data (documents are provenance events, not
+/// blobs).
+pub const MAX_RECORD_BYTES: u32 = 1 << 30;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the checksum HDFS itself
+/// uses for block integrity. Table-driven, built at compile time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// One logical WAL record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A collection was created (so empty collections survive restarts).
+    Collection { name: String },
+    /// A document was inserted into `collection`. The document travels as
+    /// its compact-JSON serialization, which is canonical for our
+    /// insertion-ordered [`Json`] model.
+    Insert { collection: String, doc: String },
+    /// A hash index over `field` was defined on `collection`.
+    Index { collection: String, field: String },
+    /// End-of-segment marker, appended as the final frame before rotating
+    /// to the next segment. Its absence is load-bearing: a segment that
+    /// ends cleanly but has no trailing marker is the *end of the log* —
+    /// any byte-truncation of the stream, even one landing exactly on a
+    /// frame boundary, is thereby distinguishable from a rotation, and
+    /// recovery drops all later segments to preserve the prefix
+    /// invariant.
+    Rotate,
+}
+
+const OP_COLLECTION: u8 = 1;
+const OP_INSERT: u8 = 2;
+const OP_INDEX: u8 = 3;
+const OP_ROTATE: u8 = 4;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    let len = u32::from_le_bytes(bytes.get(*pos..*pos + 4)?.try_into().ok()?) as usize;
+    *pos += 4;
+    let s = std::str::from_utf8(bytes.get(*pos..*pos + len)?).ok()?;
+    *pos += len;
+    Some(s.to_string())
+}
+
+impl Record {
+    /// Deterministic payload encoding (no frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Record::Collection { name } => {
+                out.push(OP_COLLECTION);
+                put_str(&mut out, name);
+            }
+            Record::Insert { collection, doc } => {
+                out.push(OP_INSERT);
+                put_str(&mut out, collection);
+                put_str(&mut out, doc);
+            }
+            Record::Index { collection, field } => {
+                out.push(OP_INDEX);
+                put_str(&mut out, collection);
+                put_str(&mut out, field);
+            }
+            Record::Rotate => out.push(OP_ROTATE),
+        }
+        out
+    }
+
+    /// Decodes a payload previously produced by [`Record::encode`].
+    /// `None` means the payload is malformed (treated as a torn tail by
+    /// recovery, corruption by snapshot loading).
+    pub fn decode(payload: &[u8]) -> Option<Record> {
+        let op = *payload.first()?;
+        let mut pos = 1;
+        let record = match op {
+            OP_COLLECTION => Record::Collection {
+                name: take_str(payload, &mut pos)?,
+            },
+            OP_INSERT => Record::Insert {
+                collection: take_str(payload, &mut pos)?,
+                doc: take_str(payload, &mut pos)?,
+            },
+            OP_INDEX => Record::Index {
+                collection: take_str(payload, &mut pos)?,
+                field: take_str(payload, &mut pos)?,
+            },
+            OP_ROTATE => Record::Rotate,
+            _ => return None,
+        };
+        if pos != payload.len() {
+            return None; // trailing garbage inside a CRC-valid frame
+        }
+        Some(record)
+    }
+
+    /// The full framed bytes: length, CRC, payload.
+    pub fn frame(&self) -> Vec<u8> {
+        let payload = self.encode();
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Validates that `doc` inside an `Insert` record parses; used by
+    /// recovery so a CRC-valid but unparsable document is treated as a
+    /// torn tail rather than a panic downstream.
+    pub fn parse_doc(&self) -> Option<Json> {
+        match self {
+            Record::Insert { doc, .. } => Json::parse(doc).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of scanning one segment file's frames.
+pub struct FrameScan {
+    pub records: Vec<Record>,
+    /// Byte offset of the first torn/invalid frame (file length when the
+    /// whole file is clean).
+    pub valid_bytes: u64,
+    /// Whether the scan stopped early on a torn or corrupt frame.
+    pub torn: bool,
+}
+
+/// Reads every valid frame from `bytes` (which must start with `magic`).
+/// Stops — without panicking — at the first short, CRC-mismatched, or
+/// undecodable frame.
+pub fn scan_frames(bytes: &[u8], magic: &[u8; 8]) -> FrameScan {
+    if bytes.len() < magic.len() || &bytes[..magic.len()] != magic {
+        return FrameScan {
+            records: Vec::new(),
+            valid_bytes: 0,
+            torn: true,
+        };
+    }
+    let mut records = Vec::new();
+    let mut pos = magic.len();
+    loop {
+        let Some(header) = bytes.get(pos..pos + 8) else {
+            // Clean EOF only when not a single header byte remains.
+            let torn = pos < bytes.len();
+            return FrameScan {
+                records,
+                valid_bytes: pos as u64,
+                torn,
+            };
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_BYTES {
+            return FrameScan {
+                records,
+                valid_bytes: pos as u64,
+                torn: true,
+            };
+        }
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len as usize) else {
+            return FrameScan {
+                records,
+                valid_bytes: pos as u64,
+                torn: true,
+            };
+        };
+        if crc32(payload) != crc {
+            return FrameScan {
+                records,
+                valid_bytes: pos as u64,
+                torn: true,
+            };
+        }
+        match Record::decode(payload) {
+            Some(r) => records.push(r),
+            None => {
+                return FrameScan {
+                    records,
+                    valid_bytes: pos as u64,
+                    torn: true,
+                }
+            }
+        }
+        pos += 8 + len as usize;
+    }
+}
+
+/// Counters describing the durable engine's activity since open.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Records appended to the WAL since this handle opened.
+    pub wal_records: u64,
+    /// Frame bytes appended to the WAL since this handle opened.
+    pub wal_bytes: u64,
+    /// WAL segment rotations since open.
+    pub wal_rotations: u64,
+    /// Explicit compactions run since open.
+    pub compactions: u64,
+}
+
+/// The append side of the log: owns the active segment file.
+pub struct Wal {
+    dir: PathBuf,
+    file: File,
+    /// Sequence number of the active segment.
+    pub seq: u64,
+    bytes_in_segment: u64,
+    /// Rotation threshold (frame bytes per segment, excluding the magic).
+    pub segment_bytes: u64,
+    pub stats: DurabilityStats,
+}
+
+/// `wal-NNNNNN.log` path for sequence `seq`.
+pub fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:06}.log"))
+}
+
+/// `snap-NNNNNN.seg` path for sequence `seq`.
+pub fn snap_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq:06}.seg"))
+}
+
+impl Wal {
+    /// Creates a fresh active segment `wal-{seq}.log` in `dir`.
+    pub fn create(dir: &Path, seq: u64, segment_bytes: u64) -> io::Result<Wal> {
+        let path = wal_path(dir, seq);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(WAL_MAGIC)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            file,
+            seq,
+            bytes_in_segment: 0,
+            segment_bytes,
+            stats: DurabilityStats::default(),
+        })
+    }
+
+    /// Appends one committed record; rotates to a new segment first when
+    /// the active one is at its threshold. Each frame lands in a single
+    /// `write_all`, so a crash tears at most the final frame.
+    pub fn append(&mut self, record: &Record) -> io::Result<()> {
+        if self.bytes_in_segment >= self.segment_bytes && self.bytes_in_segment > 0 {
+            self.rotate()?;
+        }
+        let frame = record.frame();
+        self.file.write_all(&frame)?;
+        self.bytes_in_segment += frame.len() as u64;
+        self.stats.wal_records += 1;
+        self.stats.wal_bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Starts a new segment `wal-{seq+1}.log`; subsequent appends go there.
+    /// The old segment is sealed with a [`Record::Rotate`] marker first —
+    /// recovery treats an unsealed segment as the end of the log.
+    pub fn rotate(&mut self) -> io::Result<()> {
+        self.file.write_all(&Record::Rotate.frame())?;
+        self.file.flush()?;
+        let next = Wal::create(&self.dir, self.seq + 1, self.segment_bytes)?;
+        self.file = next.file;
+        self.seq += 1;
+        self.bytes_in_segment = 0;
+        self.stats.wal_rotations += 1;
+        Ok(())
+    }
+
+    /// Flushes OS-visible state (tests reopen the directory in-process).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let records = vec![
+            Record::Collection {
+                name: "tasks".into(),
+            },
+            Record::Insert {
+                collection: "tasks".into(),
+                doc: r#"{"a":1,"b":"x\né"}"#.into(),
+            },
+            Record::Index {
+                collection: "tasks".into(),
+                field: "name".into(),
+            },
+        ];
+        for r in &records {
+            assert_eq!(Record::decode(&r.encode()).as_ref(), Some(r));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Record::decode(&[]), None);
+        assert_eq!(Record::decode(&[99]), None);
+        // Trailing garbage after a valid collection record.
+        let mut bytes = Record::Collection { name: "c".into() }.encode();
+        bytes.push(0);
+        assert_eq!(Record::decode(&bytes), None);
+        // Truncated string length.
+        assert_eq!(Record::decode(&[OP_COLLECTION, 5, 0, 0, 0, b'a']), None);
+    }
+
+    #[test]
+    fn scan_stops_at_torn_frame() {
+        let a = Record::Collection { name: "c".into() };
+        let b = Record::Insert {
+            collection: "c".into(),
+            doc: "{}".into(),
+        };
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&a.frame());
+        let clean_end = bytes.len() as u64;
+        bytes.extend_from_slice(&b.frame()[..5]); // torn mid-frame
+        let scan = scan_frames(&bytes, WAL_MAGIC);
+        assert_eq!(scan.records, vec![a]);
+        assert_eq!(scan.valid_bytes, clean_end);
+        assert!(scan.torn);
+    }
+
+    #[test]
+    fn scan_detects_crc_mismatch() {
+        let a = Record::Collection { name: "c".into() };
+        let mut bytes = WAL_MAGIC.to_vec();
+        let mut frame = a.frame();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xff; // flip a payload bit
+        bytes.extend_from_slice(&frame);
+        let scan = scan_frames(&bytes, WAL_MAGIC);
+        assert!(scan.records.is_empty());
+        assert!(scan.torn);
+        assert_eq!(scan.valid_bytes, WAL_MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn scan_rejects_wrong_magic() {
+        let scan = scan_frames(b"NOTMAGIC", WAL_MAGIC);
+        assert!(scan.torn);
+        assert_eq!(scan.valid_bytes, 0);
+    }
+}
